@@ -1,0 +1,110 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction benchmarks. Each bench
+// binary prints the same series the paper's figure reports; absolute numbers
+// depend on the host, the *shape* is the reproduction target (see
+// EXPERIMENTS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "gc/garbage_collector.h"
+#include "transform/block_transformer.h"
+#include "workload/row_util.h"
+
+namespace mainline::bench {
+
+/// Read an integer knob from the environment, with a default.
+inline int64_t EnvInt(const char *name, int64_t def) {
+  const char *value = std::getenv(name);
+  return value == nullptr ? def : std::atoll(value);
+}
+
+/// A self-contained engine instance (no logging) for benchmarks.
+///
+/// Member order matters: destruction runs in reverse, so the GC dies first
+/// (it drains version chains and deferred actions while tables are alive),
+/// then the transaction manager (frees undo varlens via table layouts), then
+/// the catalog's tables, then the pools.
+struct Engine {
+  explicit Engine(uint64_t blocks = 20000)
+      : block_store(blocks, 1000),
+        buffer_pool(0, 10000),
+        catalog(&block_store),
+        txn_manager(&buffer_pool, true, nullptr),
+        gc(&txn_manager) {}
+
+  storage::BlockStore block_store;
+  storage::RecordBufferSegmentPool buffer_pool;
+  catalog::Catalog catalog;
+  transaction::TransactionManager txn_manager;
+  gc::GarbageCollector gc;
+};
+
+/// The microbenchmark table of Section 6.2: an 8-byte fixed column plus a
+/// 12-24 byte varlen column (~32K tuples per 1 MB block).
+inline catalog::Schema MicroSchema() {
+  return catalog::Schema({{"id", catalog::TypeId::kBigInt},
+                          {"payload", catalog::TypeId::kVarchar}});
+}
+
+/// Fill `table` with `num_blocks` blocks' worth of tuples, then delete
+/// `percent_empty`% of them at random and GC to quiescence — the
+/// "data that went cold since the last transformation pass" setup.
+inline void PopulateMicroTable(Engine *engine, storage::SqlTable *table, uint32_t num_blocks,
+                               uint32_t percent_empty, uint64_t seed = 31) {
+  common::Xorshift rng(seed);
+  const auto initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  const uint32_t slots = table->UnderlyingTable().GetLayout().NumSlots();
+  const uint64_t total = static_cast<uint64_t>(num_blocks) * slots;
+
+  std::vector<storage::TupleSlot> inserted;
+  inserted.reserve(total);
+  const catalog::Schema &schema = table->GetSchema();
+  auto *txn = engine->txn_manager.BeginTransaction();
+  for (uint64_t i = 0; i < total; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    for (uint16_t c = 0; c < schema.NumColumns(); c++) {
+      if (schema.GetColumn(c).IsVarlen()) {
+        // 12-24 byte values, as in the Section 6.2 microbenchmark setup.
+        workload::SetVarchar(row, c,
+                             "payload-" + std::to_string(i % 1000) +
+                                 std::string(rng.Uniform(0, 12), 'x'));
+      } else {
+        workload::Set<int64_t>(row, c, static_cast<int64_t>(i));
+      }
+    }
+    inserted.push_back(table->Insert(txn, *row));
+    if ((i + 1) % 100000 == 0) {
+      engine->txn_manager.Commit(txn);
+      txn = engine->txn_manager.BeginTransaction();
+    }
+  }
+  engine->txn_manager.Commit(txn);
+
+  if (percent_empty > 0) {
+    auto *deleter = engine->txn_manager.BeginTransaction();
+    for (const auto slot : inserted) {
+      if (rng.Uniform(1, 100) <= percent_empty) table->Delete(deleter, slot);
+    }
+    engine->txn_manager.Commit(deleter);
+  }
+  engine->gc.FullGC();
+}
+
+/// Wall-clock seconds of `fn`.
+template <typename F>
+double TimeSeconds(F &&fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace mainline::bench

@@ -1,0 +1,66 @@
+// Figure 14: sensitivity to the compaction group size while processing 500
+// blocks: (a) blocks freed in one transformation round, (b) the compacting
+// transactions' write-set sizes.
+//
+// Expected shape (paper): at 1% empty only large groups free any blocks; as
+// emptiness grows small groups do increasingly well and larger groups bring
+// diminishing returns, while write-set size grows with group size. The sweet
+// spot is a group size of 10-50.
+
+#include "bench_util.h"
+#include "transform/block_transformer.h"
+
+int main() {
+  using namespace mainline::bench;
+  // The paper processes 500 blocks; the laptop-scale default is smaller
+  // (override with MAINLINE_F14_BLOCKS=500 to match the paper).
+  const auto num_blocks = static_cast<uint32_t>(EnvInt("MAINLINE_F14_BLOCKS", 100));
+  const uint32_t group_sizes[] = {1, 10, 50, 100, 250, 500};
+
+  std::printf("== Figure 14a: blocks freed in one round (%u blocks) ==\n", num_blocks);
+  std::printf("%-8s", "%empty");
+  for (const uint32_t g : group_sizes) std::printf(" %10u", g);
+  std::printf("\n");
+
+  std::vector<std::vector<uint64_t>> write_sets;
+  for (const uint32_t empty : {1u, 5u, 10u, 20u, 40u, 60u, 80u}) {
+    std::printf("%-8u", empty);
+    std::vector<uint64_t> row_write_sets;
+    for (const uint32_t group_size : group_sizes) {
+      Engine engine;
+      auto *table = engine.catalog.GetTable(engine.catalog.CreateTable("t", MicroSchema()));
+      PopulateMicroTable(&engine, table, num_blocks, empty);
+      auto blocks = table->UnderlyingTable().Blocks();
+
+      mainline::transform::BlockTransformer transformer(&engine.txn_manager, &engine.gc);
+      mainline::transform::TransformStats stats;
+      uint64_t max_txn_write_set = 0;
+      for (size_t i = 0; i < blocks.size(); i += group_size) {
+        const size_t end = std::min(blocks.size(), i + group_size);
+        std::vector<mainline::storage::RawBlock *> group(blocks.begin() + i,
+                                                         blocks.begin() + end);
+        const uint64_t before = stats.write_set_size;
+        transformer.CompactGroup(&table->UnderlyingTable(), group, &stats, nullptr);
+        // One transaction per group: track the largest write-set (14b).
+        max_txn_write_set = std::max(max_txn_write_set, stats.write_set_size - before);
+      }
+      engine.gc.FullGC();
+      std::printf(" %10lu", static_cast<unsigned long>(stats.blocks_freed));
+      row_write_sets.push_back(max_txn_write_set);
+    }
+    write_sets.push_back(std::move(row_write_sets));
+    std::printf("\n");
+  }
+
+  std::printf("\n== Figure 14b: write-set size per compacting transaction (#ops, max) ==\n");
+  std::printf("%-8s", "%empty");
+  for (const uint32_t g : group_sizes) std::printf(" %10u", g);
+  std::printf("\n");
+  const uint32_t empties[] = {1, 5, 10, 20, 40, 60, 80};
+  for (size_t e = 0; e < write_sets.size(); e++) {
+    std::printf("%-8u", empties[e]);
+    for (const uint64_t ws : write_sets[e]) std::printf(" %10lu", static_cast<unsigned long>(ws));
+    std::printf("\n");
+  }
+  return 0;
+}

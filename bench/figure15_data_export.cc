@@ -1,0 +1,105 @@
+// Figure 15: bulk data-export speed (MB/s) to an external tool, for four
+// mechanisms, varying the percentage of frozen blocks. Non-frozen blocks must
+// be transactionally materialized before they can be shipped.
+//
+// Expected shape (paper): RDMA and Arrow-Flight are orders of magnitude
+// faster than the wire protocols when everything is frozen; Flight degrades
+// toward the vectorized protocol as the hot fraction grows; the PostgreSQL
+// row protocol is slowest and insensitive to the frozen fraction (the
+// serialization step dominates either way).
+
+#include "bench_util.h"
+#include "export/protocols.h"
+#include "transform/block_transformer.h"
+#include "workload/tpcc/tpcc_schemas.h"
+
+namespace mainline::bench {
+namespace {
+
+/// Build an ORDER_LINE-shaped table spanning `num_blocks` blocks and freeze
+/// the first `percent_frozen`% of them.
+std::unique_ptr<Engine> BuildOrderLineTable(uint32_t num_blocks, uint32_t percent_frozen,
+                                            storage::SqlTable **out) {
+  auto engine = std::make_unique<Engine>();
+  auto *table = engine->catalog.GetTable(
+      engine->catalog.CreateTable("order_line", workload::tpcc::OrderLineSchema()));
+  const auto initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  const uint32_t slots = table->UnderlyingTable().GetLayout().NumSlots();
+  common::Xorshift rng(11);
+
+  auto *txn = engine->txn_manager.BeginTransaction();
+  for (uint64_t i = 0; i < static_cast<uint64_t>(num_blocks) * slots; i++) {
+    using namespace workload;
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    Set<int32_t>(row, tpcc::OL_O_ID, static_cast<int32_t>(i / 10));
+    Set<int32_t>(row, tpcc::OL_D_ID, static_cast<int32_t>(i % 10 + 1));
+    Set<int32_t>(row, tpcc::OL_W_ID, 1);
+    Set<int32_t>(row, tpcc::OL_NUMBER, static_cast<int32_t>(i % 15 + 1));
+    Set<int32_t>(row, tpcc::OL_I_ID, static_cast<int32_t>(rng.Uniform(1, 100000)));
+    Set<int32_t>(row, tpcc::OL_SUPPLY_W_ID, 1);
+    Set<uint64_t>(row, tpcc::OL_DELIVERY_D, i);
+    Set<int8_t>(row, tpcc::OL_QUANTITY, 5);
+    Set<double>(row, tpcc::OL_AMOUNT, static_cast<double>(rng.Uniform(1, 99999)) / 100.0);
+    SetVarchar(row, tpcc::OL_DIST_INFO, rng.AlphaString(24, 24));
+    table->Insert(txn, *row);
+    if ((i + 1) % 100000 == 0) {
+      engine->txn_manager.Commit(txn);
+      txn = engine->txn_manager.BeginTransaction();
+    }
+  }
+  engine->txn_manager.Commit(txn);
+  engine->gc.FullGC();
+
+  // Freeze the requested fraction.
+  transform::BlockTransformer transformer(&engine->txn_manager, &engine->gc);
+  auto blocks = table->UnderlyingTable().Blocks();
+  const auto to_freeze = static_cast<size_t>(blocks.size() * percent_frozen / 100);
+  for (size_t i = 0; i < to_freeze; i++) {
+    transformer.ProcessGroup(&table->UnderlyingTable(), {blocks[i]}, nullptr);
+  }
+  *out = table;
+  return engine;
+}
+
+}  // namespace
+}  // namespace mainline::bench
+
+int main() {
+  using namespace mainline::bench;
+  using namespace mainline::exporter;
+  const auto num_blocks = static_cast<uint32_t>(EnvInt("MAINLINE_F15_BLOCKS", 64));
+
+  std::printf("== Figure 15: export speed (MB/s), ORDER_LINE-shaped table, %u blocks ==\n",
+              num_blocks);
+  std::printf("%-9s %10s %14s %18s %18s\n", "%frozen", "rdma", "arrow-flight",
+              "vectorized-wire", "postgres-wire");
+
+  for (const uint32_t frozen : {0u, 1u, 5u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+    mainline::storage::SqlTable *table = nullptr;
+    auto engine = BuildOrderLineTable(num_blocks, frozen, &table);
+    // Generous client buffer: raw data is ~1 MB/block; text encodings bloat.
+    ClientBuffer client(static_cast<uint64_t>(num_blocks + 4) * (4u << 20));
+
+    double mbps[4];
+    Exporter *exporters[4] = {nullptr, nullptr, nullptr, nullptr};
+    RdmaExporter rdma(&client);
+    ArrowFlightExporter flight(&client);
+    VectorizedWireExporter vectorized(&client);
+    PostgresWireExporter pg(&client);
+    exporters[0] = &rdma;
+    exporters[1] = &flight;
+    exporters[2] = &vectorized;
+    exporters[3] = &pg;
+    for (int i = 0; i < 4; i++) {
+      const ExportResult result = exporters[i]->Export(table, &engine->txn_manager);
+      // Throughput in terms of payload delivered to the client.
+      mbps[i] = static_cast<double>(result.wire_bytes) / (1 << 20) /
+                (static_cast<double>(result.micros) / 1e6);
+      engine->gc.FullGC();
+    }
+    std::printf("%-9u %10.1f %14.1f %18.1f %18.1f\n", frozen, mbps[0], mbps[1], mbps[2],
+                mbps[3]);
+  }
+  return 0;
+}

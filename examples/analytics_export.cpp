@@ -1,0 +1,85 @@
+// Analytics export: run an OLTP-style workload, freeze the cold data, and
+// ship the whole table to an "external analytics tool" through all four
+// export paths, then run the same aggregate on each client-side copy to show
+// they agree — and how much the paths differ in cost.
+//
+//   $ ./build/examples/analytics_export
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "export/protocols.h"
+#include "gc/garbage_collector.h"
+#include "transform/block_transformer.h"
+#include "workload/row_util.h"
+#include "workload/tpch/lineitem.h"
+
+using namespace mainline;
+
+namespace {
+
+/// The "analytics": revenue = sum(extendedprice * (1 - discount)) over the
+/// client-side Arrow data (a slice of TPC-H Q1).
+double Revenue(const arrowlite::RecordBatch &batch, int price_col, int discount_col) {
+  double revenue = 0;
+  for (int64_t i = 0; i < batch.num_rows(); i++) {
+    revenue += batch.column(price_col)->Value<double>(i) *
+               (1.0 - batch.column(discount_col)->Value<double>(i));
+  }
+  return revenue;
+}
+
+}  // namespace
+
+int main() {
+  storage::BlockStore block_store(5000, 100);
+  storage::RecordBufferSegmentPool buffer_pool(0, 1000);
+  catalog::Catalog catalog(&block_store);
+  transaction::TransactionManager txn_manager(&buffer_pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+
+  std::printf("generating LINEITEM...\n");
+  storage::SqlTable *lineitem =
+      workload::tpch::GenerateLineItem(&catalog, &txn_manager, 500000);
+  gc.FullGC();
+
+  // Freeze the table (it has gone cold).
+  transform::BlockTransformer transformer(&txn_manager, &gc);
+  storage::DataTable &table = lineitem->UnderlyingTable();
+  const uint32_t frozen = transformer.ProcessGroup(&table, table.Blocks(), nullptr);
+  std::printf("froze %u of %zu blocks\n", frozen, table.NumBlocks());
+
+  exporter::ClientBuffer client((table.NumBlocks() + 4) * (8ull << 20));
+  const int price = 5, discount = 6;  // l_extendedprice, l_discount
+
+  {
+    exporter::ArrowFlightExporter flight(&client);
+    const auto result = flight.Export(lineitem, &txn_manager);
+    double revenue = 0;
+    for (const auto &batch : flight.ClientBatches()) revenue += Revenue(*batch, price, discount);
+    std::printf("%-16s %8.0f ms  %6.1f MB on wire  revenue=%.2f\n", "arrow-flight",
+                result.micros / 1000.0, result.wire_bytes / 1048576.0, revenue);
+  }
+  {
+    exporter::VectorizedWireExporter vectorized(&client);
+    const auto result = vectorized.Export(lineitem, &txn_manager);
+    const double revenue = Revenue(*vectorized.ClientBatch(), price, discount);
+    std::printf("%-16s %8.0f ms  %6.1f MB on wire  revenue=%.2f\n", "vectorized",
+                result.micros / 1000.0, result.wire_bytes / 1048576.0, revenue);
+  }
+  {
+    exporter::PostgresWireExporter pg(&client);
+    const auto result = pg.Export(lineitem, &txn_manager);
+    const double revenue = Revenue(*pg.ClientBatch(), price, discount);
+    std::printf("%-16s %8.0f ms  %6.1f MB on wire  revenue=%.2f\n", "postgres-wire",
+                result.micros / 1000.0, result.wire_bytes / 1048576.0, revenue);
+  }
+  {
+    exporter::RdmaExporter rdma(&client);
+    const auto result = rdma.Export(lineitem, &txn_manager);
+    std::printf("%-16s %8.0f ms  %6.1f MB transferred (one-sided; no parse step)\n", "rdma",
+                result.micros / 1000.0, result.wire_bytes / 1048576.0);
+  }
+  gc.FullGC();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Durability: run transactions with write-ahead logging and group commit,
+// "crash", then recover the database from the log in a fresh engine.
+//
+//   $ ./build/examples/durability
+
+#include <atomic>
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "gc/garbage_collector.h"
+#include "logging/log_manager.h"
+#include "logging/recovery_manager.h"
+#include "transaction/transaction_manager.h"
+#include "workload/row_util.h"
+
+using namespace mainline;
+
+namespace {
+const char *kLogPath = "/tmp/mainline_durability_demo.log";
+
+catalog::Schema AccountsSchema() {
+  return catalog::Schema({{"id", catalog::TypeId::kBigInt},
+                          {"owner", catalog::TypeId::kVarchar},
+                          {"balance", catalog::TypeId::kDecimal}});
+}
+}  // namespace
+
+int main() {
+  // ---- lifetime 1: transactions with WAL ----------------------------------
+  {
+    storage::BlockStore block_store(100, 10);
+    storage::RecordBufferSegmentPool buffer_pool(100000, 100);
+    catalog::Catalog catalog(&block_store);
+    transaction::TransactionManager plain(&buffer_pool, true, nullptr);
+    logging::LogManager log_manager(kLogPath, &plain);
+    transaction::TransactionManager txn_manager(&buffer_pool, true, &log_manager);
+    log_manager.SetTableResolver([&](catalog::table_oid_t oid) {
+      return &catalog.GetTable(oid)->UnderlyingTable();
+    });
+    log_manager.Start();
+
+    auto *accounts = catalog.GetTable(catalog.CreateTable("accounts", AccountsSchema()));
+    const auto initializer = accounts->FullInitializer();
+    std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+    std::atomic<int> durable{0};
+    auto on_durable = [](void *arg) { static_cast<std::atomic<int> *>(arg)->fetch_add(1); };
+
+    for (int64_t i = 0; i < 100; i++) {
+      auto *txn = txn_manager.BeginTransaction();
+      storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+      workload::Set<int64_t>(row, 0, i);
+      workload::SetVarchar(row, 1, "account-holder-number-" + std::to_string(i));
+      workload::Set<double>(row, 2, 1000.0 + static_cast<double>(i));
+      accounts->Insert(txn, *row);
+      // The result is withheld from the "client" until the commit record is
+      // on disk; the callback signals durability (Section 3.4).
+      txn_manager.Commit(txn, on_durable, &durable);
+    }
+    // An uncommitted transaction that will be lost in the crash:
+    auto *doomed = txn_manager.BeginTransaction();
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    workload::Set<int64_t>(row, 0, 424242);
+    workload::SetVarchar(row, 1, "lost to the crash");
+    workload::Set<double>(row, 2, 0.0);
+    accounts->Insert(doomed, *row);
+    // (no commit — simulated crash below)
+
+    log_manager.Shutdown();
+    std::printf("lifetime 1: 100 commits, %d durable callbacks fired, %lu log bytes\n",
+                durable.load(), static_cast<unsigned long>(log_manager.BytesWritten()));
+    txn_manager.Abort(doomed);  // tidy shutdown of the demo process
+  }
+
+  // ---- lifetime 2: recover ------------------------------------------------
+  storage::BlockStore block_store(100, 10);
+  storage::RecordBufferSegmentPool buffer_pool(100000, 100);
+  catalog::Catalog catalog(&block_store);
+  transaction::TransactionManager txn_manager(&buffer_pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+  auto *accounts = catalog.GetTable(catalog.CreateTable("accounts", AccountsSchema()));
+
+  logging::RecoveryManager recovery(catalog.TableMap(), &txn_manager);
+  const uint64_t replayed = recovery.Recover(kLogPath);
+
+  const auto initializer = accounts->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  auto *txn = txn_manager.BeginTransaction();
+  uint64_t rows = 0;
+  double total = 0;
+  for (auto it = accounts->begin(); !it.Done(); ++it) {
+    storage::ProjectedRow *r = initializer.InitializeRow(buffer.data());
+    if (!accounts->Select(txn, *it, r)) continue;
+    rows++;
+    total += workload::Get<double>(*r, 2);
+  }
+  txn_manager.Commit(txn);
+  gc.FullGC();
+
+  std::printf("lifetime 2: replayed %lu transactions -> %lu rows, total balance %.2f\n",
+              static_cast<unsigned long>(replayed), static_cast<unsigned long>(rows), total);
+  std::remove(kLogPath);
+  return rows == 100 ? 0 : 1;
+}

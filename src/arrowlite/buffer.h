@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+
+namespace mainline::arrowlite {
+
+/// A contiguous memory region in the Arrow sense: 64-byte aligned when owned,
+/// or a non-owning view over externally managed memory (e.g. column storage
+/// inside a frozen block — the zero-copy path this system exists for).
+class Buffer {
+ public:
+  /// Create an owning buffer of `size` bytes, 64-byte aligned and
+  /// zero-padded to a multiple of 8 as the Arrow spec recommends.
+  static std::shared_ptr<Buffer> Allocate(uint64_t size) {
+    const uint64_t padded = (size + 63) & ~uint64_t{63};
+    auto *data = static_cast<byte *>(std::aligned_alloc(64, padded == 0 ? 64 : padded));
+    std::memset(data, 0, padded == 0 ? 64 : padded);
+    return std::shared_ptr<Buffer>(new Buffer(data, size, true));
+  }
+
+  /// Wrap externally owned memory without copying. The caller guarantees the
+  /// memory outlives the buffer (for frozen blocks, the block's reader lock
+  /// provides this).
+  static std::shared_ptr<Buffer> Wrap(const byte *data, uint64_t size) {
+    return std::shared_ptr<Buffer>(new Buffer(const_cast<byte *>(data), size, false));
+  }
+
+  /// Create an owning buffer holding a copy of [data, data + size).
+  static std::shared_ptr<Buffer> CopyOf(const byte *data, uint64_t size) {
+    auto result = Allocate(size);
+    if (size > 0) std::memcpy(result->mutable_data(), data, size);
+    return result;
+  }
+
+  DISALLOW_COPY_AND_MOVE(Buffer)
+
+  ~Buffer() {
+    if (owned_) std::free(data_);
+  }
+
+  const byte *data() const { return data_; }
+  byte *mutable_data() { return data_; }
+  uint64_t size() const { return size_; }
+  bool owned() const { return owned_; }
+
+  template <typename T>
+  const T *data_as() const {
+    return reinterpret_cast<const T *>(data_);
+  }
+  template <typename T>
+  T *mutable_data_as() {
+    return reinterpret_cast<T *>(data_);
+  }
+
+ private:
+  Buffer(byte *data, uint64_t size, bool owned) : data_(data), size_(size), owned_(owned) {}
+
+  byte *data_;
+  uint64_t size_;
+  bool owned_;
+};
+
+}  // namespace mainline::arrowlite

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "arrowlite/array.h"
+#include "common/macros.h"
+
+namespace mainline::arrowlite {
+
+namespace detail {
+inline void AppendBit(std::vector<uint8_t> *bits, int64_t index, bool value) {
+  const auto byte_idx = static_cast<size_t>(index / 8);
+  if (byte_idx >= bits->size()) bits->resize(byte_idx + 1, 0);
+  if (value) (*bits)[byte_idx] |= static_cast<uint8_t>(1u << (index % 8));
+}
+
+inline std::shared_ptr<Buffer> FinishBitmap(const std::vector<uint8_t> &bits,
+                                            int64_t null_count) {
+  if (null_count == 0) return nullptr;
+  return Buffer::CopyOf(reinterpret_cast<const byte *>(bits.data()), bits.size());
+}
+}  // namespace detail
+
+/// Incrementally builds a fixed-width array.
+template <typename T>
+class FixedBuilder {
+ public:
+  explicit FixedBuilder(Type type) : type_(type) {
+    MAINLINE_ASSERT(TypeWidth(type) == sizeof(T), "builder width mismatch");
+  }
+
+  void Append(T value) {
+    detail::AppendBit(&validity_, length_, true);
+    values_.push_back(value);
+    length_++;
+  }
+
+  void AppendNull() {
+    detail::AppendBit(&validity_, length_, false);
+    values_.push_back(T{});
+    length_++;
+    null_count_++;
+  }
+
+  int64_t length() const { return length_; }
+
+  std::shared_ptr<Array> Finish() {
+    auto values = Buffer::CopyOf(reinterpret_cast<const byte *>(values_.data()),
+                                 values_.size() * sizeof(T));
+    auto result = Array::MakeFixed(type_, length_, std::move(values),
+                                   detail::FinishBitmap(validity_, null_count_), null_count_);
+    values_.clear();
+    validity_.clear();
+    length_ = null_count_ = 0;
+    return result;
+  }
+
+ private:
+  Type type_;
+  std::vector<T> values_;
+  std::vector<uint8_t> validity_;
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+};
+
+/// Incrementally builds a string array (int32 offsets + values).
+class StringBuilder {
+ public:
+  StringBuilder() { offsets_.push_back(0); }
+
+  void Append(std::string_view value) {
+    detail::AppendBit(&validity_, length_, true);
+    chars_.insert(chars_.end(), value.begin(), value.end());
+    offsets_.push_back(static_cast<int32_t>(chars_.size()));
+    length_++;
+  }
+
+  void AppendNull() {
+    detail::AppendBit(&validity_, length_, false);
+    offsets_.push_back(static_cast<int32_t>(chars_.size()));
+    length_++;
+    null_count_++;
+  }
+
+  int64_t length() const { return length_; }
+
+  std::shared_ptr<Array> Finish() {
+    auto offsets = Buffer::CopyOf(reinterpret_cast<const byte *>(offsets_.data()),
+                                  offsets_.size() * sizeof(int32_t));
+    auto values = Buffer::CopyOf(reinterpret_cast<const byte *>(chars_.data()), chars_.size());
+    auto result = Array::MakeString(length_, std::move(offsets), std::move(values),
+                                    detail::FinishBitmap(validity_, null_count_), null_count_);
+    offsets_.assign(1, 0);
+    chars_.clear();
+    validity_.clear();
+    length_ = null_count_ = 0;
+    return result;
+  }
+
+ private:
+  std::vector<int32_t> offsets_;
+  std::vector<char> chars_;
+  std::vector<uint8_t> validity_;
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+};
+
+}  // namespace mainline::arrowlite

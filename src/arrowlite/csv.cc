@@ -1,0 +1,204 @@
+#include "arrowlite/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "arrowlite/builder.h"
+
+namespace mainline::arrowlite {
+
+namespace {
+
+void WriteEscaped(std::string_view value, std::ostream *out) {
+  if (value.find_first_of(",\"\n") == std::string_view::npos) {
+    out->write(value.data(), static_cast<std::streamsize>(value.size()));
+    return;
+  }
+  out->put('"');
+  for (const char c : value) {
+    if (c == '"') out->put('"');
+    out->put(c);
+  }
+  out->put('"');
+}
+
+void WriteValueText(const Array &array, int64_t row, std::ostream *out) {
+  char buf[32];
+  switch (array.type()) {
+    case Type::kBool:
+    case Type::kUInt8:
+      *out << static_cast<uint32_t>(array.Value<uint8_t>(row));
+      break;
+    case Type::kInt8:
+      *out << static_cast<int32_t>(array.Value<int8_t>(row));
+      break;
+    case Type::kInt16:
+      *out << array.Value<int16_t>(row);
+      break;
+    case Type::kUInt16:
+      *out << array.Value<uint16_t>(row);
+      break;
+    case Type::kInt32:
+      *out << array.Value<int32_t>(row);
+      break;
+    case Type::kUInt32:
+      *out << array.Value<uint32_t>(row);
+      break;
+    case Type::kInt64:
+      *out << array.Value<int64_t>(row);
+      break;
+    case Type::kUInt64:
+      *out << array.Value<uint64_t>(row);
+      break;
+    case Type::kFloat64:
+      std::snprintf(buf, sizeof(buf), "%.6f", array.Value<double>(row));
+      *out << buf;
+      break;
+    case Type::kString:
+    case Type::kDictionary:
+      WriteEscaped(array.GetString(row), out);
+      break;
+  }
+}
+
+/// Split one CSV line into fields, handling quoted values.
+std::vector<std::string> SplitLine(const std::string &line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); i++) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i++;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+template <typename T>
+T ParseInt(const std::string &s) {
+  T value{};
+  std::from_chars(s.data(), s.data() + s.size(), value);
+  return value;
+}
+
+}  // namespace
+
+uint64_t Csv::WriteBatch(const RecordBatch &batch, std::ostream *out, bool header) {
+  const auto start = out->tellp();
+  const Schema &schema = *batch.schema();
+  if (header) {
+    for (int c = 0; c < schema.num_fields(); c++) {
+      if (c > 0) out->put(',');
+      *out << schema.field(c).name();
+    }
+    out->put('\n');
+  }
+  for (int64_t row = 0; row < batch.num_rows(); row++) {
+    for (int c = 0; c < batch.num_columns(); c++) {
+      if (c > 0) out->put(',');
+      const Array &array = *batch.column(c);
+      if (!array.IsNull(row)) WriteValueText(array, row, out);
+    }
+    out->put('\n');
+  }
+  return static_cast<uint64_t>(out->tellp() - start);
+}
+
+std::shared_ptr<RecordBatch> Csv::ReadBatch(const std::shared_ptr<Schema> &schema,
+                                            std::istream *in) {
+  const int num_fields = schema->num_fields();
+  std::vector<FixedBuilder<int64_t>> int_builders;
+  std::vector<FixedBuilder<double>> float_builders;
+  std::vector<StringBuilder> string_builders;
+  // Per-column dispatch: index into the right builder vector.
+  std::vector<std::pair<int, int>> dispatch(static_cast<size_t>(num_fields));
+  for (int c = 0; c < num_fields; c++) {
+    switch (schema->field(c).type()) {
+      case Type::kFloat64:
+        dispatch[static_cast<size_t>(c)] = {1, static_cast<int>(float_builders.size())};
+        float_builders.emplace_back(Type::kFloat64);
+        break;
+      case Type::kString:
+      case Type::kDictionary:
+        dispatch[static_cast<size_t>(c)] = {2, static_cast<int>(string_builders.size())};
+        string_builders.emplace_back();
+        break;
+      default:
+        dispatch[static_cast<size_t>(c)] = {0, static_cast<int>(int_builders.size())};
+        int_builders.emplace_back(Type::kInt64);
+        break;
+    }
+  }
+
+  std::string line;
+  std::getline(*in, line);  // header
+  int64_t num_rows = 0;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line);
+    for (int c = 0; c < num_fields; c++) {
+      const std::string &text = fields[static_cast<size_t>(c)];
+      auto [kind, idx] = dispatch[static_cast<size_t>(c)];
+      if (kind == 0) {
+        if (text.empty()) {
+          int_builders[static_cast<size_t>(idx)].AppendNull();
+        } else {
+          int_builders[static_cast<size_t>(idx)].Append(ParseInt<int64_t>(text));
+        }
+      } else if (kind == 1) {
+        if (text.empty()) {
+          float_builders[static_cast<size_t>(idx)].AppendNull();
+        } else {
+          float_builders[static_cast<size_t>(idx)].Append(std::stod(text));
+        }
+      } else {
+        string_builders[static_cast<size_t>(idx)].Append(text);
+      }
+    }
+    num_rows++;
+  }
+
+  // CSV erases type fidelity: integers come back as int64. Build an output
+  // schema reflecting that, as a Pandas-style reader would.
+  std::vector<Field> out_fields;
+  std::vector<std::shared_ptr<Array>> columns;
+  for (int c = 0; c < num_fields; c++) {
+    auto [kind, idx] = dispatch[static_cast<size_t>(c)];
+    if (kind == 0) {
+      out_fields.emplace_back(schema->field(c).name(), Type::kInt64);
+      columns.push_back(int_builders[static_cast<size_t>(idx)].Finish());
+    } else if (kind == 1) {
+      out_fields.emplace_back(schema->field(c).name(), Type::kFloat64);
+      columns.push_back(float_builders[static_cast<size_t>(idx)].Finish());
+    } else {
+      out_fields.emplace_back(schema->field(c).name(), Type::kString);
+      columns.push_back(string_builders[static_cast<size_t>(idx)].Finish());
+    }
+  }
+  return std::make_shared<RecordBatch>(std::make_shared<Schema>(std::move(out_fields)),
+                                       num_rows, std::move(columns));
+}
+
+}  // namespace mainline::arrowlite

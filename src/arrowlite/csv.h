@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "arrowlite/array.h"
+#include "common/macros.h"
+
+namespace mainline::arrowlite {
+
+/// CSV writer/reader for record batches. Exists to reproduce the paper's
+/// Figure 1 motivation experiment: exporting a table through a textual
+/// interchange format and re-parsing it is the expensive path the Arrow-
+/// native design eliminates.
+class Csv {
+ public:
+  Csv() = delete;
+
+  /// Write `batch` to `out`, preceded by a header row when `header` is true
+  /// (pass false for all but the first batch of a stream). Values are
+  /// rendered as decimal text; strings are quoted only when they contain
+  /// separators.
+  /// \return number of bytes written.
+  static uint64_t WriteBatch(const RecordBatch &batch, std::ostream *out, bool header = true);
+
+  /// Parse a CSV document (with header row) into a record batch, using
+  /// `schema` to choose column types.
+  static std::shared_ptr<RecordBatch> ReadBatch(const std::shared_ptr<Schema> &schema,
+                                                std::istream *in);
+};
+
+}  // namespace mainline::arrowlite

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+
+namespace mainline::arrowlite {
+
+/// Abstract byte sink: the boundary between serialization code and transport
+/// (in-memory channel, file, simulated network link).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void Write(const byte *data, uint64_t size) = 0;
+
+  template <typename T>
+  void WriteValue(const T &value) {
+    Write(reinterpret_cast<const byte *>(&value), sizeof(T));
+  }
+};
+
+/// Abstract byte source.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Read exactly `size` bytes.
+  /// \return true on success, false on end of stream.
+  virtual bool Read(byte *out, uint64_t size) = 0;
+
+  template <typename T>
+  bool ReadValue(T *out) {
+    return Read(reinterpret_cast<byte *>(out), sizeof(T));
+  }
+};
+
+/// Sink collecting bytes into a growable vector.
+class VectorSink final : public ByteSink {
+ public:
+  void Write(const byte *data, uint64_t size) override {
+    data_.insert(data_.end(), data, data + size);
+  }
+  const std::vector<byte> &data() const { return data_; }
+  std::vector<byte> &data() { return data_; }
+
+ private:
+  std::vector<byte> data_;
+};
+
+/// Source reading from a byte span.
+class SpanSource final : public ByteSource {
+ public:
+  SpanSource(const byte *data, uint64_t size) : data_(data), size_(size) {}
+
+  bool Read(byte *out, uint64_t size) override {
+    if (pos_ + size > size_) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+ private:
+  const byte *data_;
+  uint64_t size_;
+  uint64_t pos_ = 0;
+};
+
+/// Sink that only counts bytes (for measuring protocol output volume).
+class CountingSink final : public ByteSink {
+ public:
+  void Write(const byte *, uint64_t size) override { count_ += size; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace mainline::arrowlite

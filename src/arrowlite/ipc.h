@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+
+#include "arrowlite/array.h"
+#include "arrowlite/io.h"
+#include "common/macros.h"
+
+namespace mainline::arrowlite {
+
+/// Streaming IPC format, modeled on the Arrow IPC stream: a schema message
+/// followed by record-batch messages, each of which is a flat sequence of
+/// raw buffers with a tiny header. Buffer contents go onto the wire verbatim
+/// (no per-value encoding), which is what gives Arrow-native export its
+/// zero-serialization property; the substitution of this framing for Arrow's
+/// flatbuffer metadata is documented in DESIGN.md.
+///
+/// Message grammar:
+///   stream  := schema batch* end
+///   schema  := 'S' u32 num_fields { u16 name_len, name, u8 type, u8 nullable }
+///   batch   := 'B' u64 num_rows column*
+///   column  := u8 type, u8 has_validity [u64 size, bytes]  (validity)
+///              buffers (type dependent), dictionary (dictionary type)
+///   end     := 'E'
+class IpcStreamWriter {
+ public:
+  /// Write the schema message immediately.
+  IpcStreamWriter(ByteSink *sink, const Schema &schema);
+
+  /// Write one record batch message.
+  void WriteBatch(const RecordBatch &batch);
+
+  /// Write the end-of-stream marker.
+  void Close();
+
+ private:
+  void WriteBuffer(const Buffer *buffer);
+  void WriteArray(const Array &array);
+
+  ByteSink *sink_;
+  bool closed_ = false;
+};
+
+/// Reads a stream produced by IpcStreamWriter. Buffers are landed in freshly
+/// allocated (64-byte aligned) memory and wrapped without any per-value
+/// parsing — the client-side analogue of zero-deserialization interchange.
+class IpcStreamReader {
+ public:
+  explicit IpcStreamReader(ByteSource *source);
+
+  /// \return the stream's schema (valid after construction).
+  const std::shared_ptr<Schema> &schema() const { return schema_; }
+
+  /// Read the next record batch.
+  /// \return the batch, or nullptr at end of stream.
+  std::shared_ptr<RecordBatch> ReadNext();
+
+ private:
+  std::shared_ptr<Buffer> ReadBuffer();
+  std::shared_ptr<Array> ReadArray(int64_t num_rows);
+
+  ByteSource *source_;
+  std::shared_ptr<Schema> schema_;
+  bool done_ = false;
+};
+
+}  // namespace mainline::arrowlite

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/typedefs.h"
+#include "index/index.h"
+#include "storage/sql_table.h"
+
+namespace mainline::catalog {
+
+/// A minimal catalog: owns tables (and registered indexes), resolves names
+/// and oids, and provides the table resolver the log serializer needs.
+class Catalog {
+ public:
+  explicit Catalog(storage::BlockStore *block_store) : block_store_(block_store) {}
+
+  DISALLOW_COPY_AND_MOVE(Catalog)
+
+  ~Catalog();
+
+  /// Create a new table.
+  /// \return the new table's oid.
+  table_oid_t CreateTable(const std::string &name, const Schema &schema);
+
+  /// \return the table with the given oid, or nullptr.
+  storage::SqlTable *GetTable(table_oid_t oid);
+
+  /// \return the table with the given name, or nullptr.
+  storage::SqlTable *GetTable(const std::string &name);
+
+  /// \return oid for `name`, or table_oid_t(0) if absent.
+  table_oid_t GetTableOid(const std::string &name);
+
+  /// Register an index (ownership transfers to the catalog).
+  /// \return the new index's oid.
+  index_oid_t RegisterIndex(const std::string &name, table_oid_t table,
+                            std::unique_ptr<index::Index> index);
+
+  /// \return the index with the given name, or nullptr.
+  index::Index *GetIndex(const std::string &name);
+
+  /// \return all (oid, table) pairs, for recovery and export.
+  std::unordered_map<table_oid_t, storage::DataTable *> TableMap();
+
+  storage::BlockStore *GetBlockStore() { return block_store_; }
+
+ private:
+  struct TableEntry {
+    std::string name;
+    std::unique_ptr<storage::SqlTable> table;
+  };
+  struct IndexEntry {
+    std::string name;
+    table_oid_t table;
+    std::unique_ptr<index::Index> index;
+  };
+
+  storage::BlockStore *block_store_;
+  common::SpinLatch latch_;
+  uint32_t next_table_oid_ = 1;
+  uint32_t next_index_oid_ = 1;
+  std::unordered_map<table_oid_t, TableEntry> tables_;
+  std::unordered_map<std::string, table_oid_t> table_names_;
+  std::unordered_map<index_oid_t, IndexEntry> indexes_;
+  std::unordered_map<std::string, index_oid_t> index_names_;
+};
+
+}  // namespace mainline::catalog

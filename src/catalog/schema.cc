@@ -1,0 +1,29 @@
+#include "catalog/schema.h"
+
+namespace mainline::catalog {
+
+const char *TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kBoolean:
+      return "BOOLEAN";
+    case TypeId::kTinyInt:
+      return "TINYINT";
+    case TypeId::kSmallInt:
+      return "SMALLINT";
+    case TypeId::kInteger:
+      return "INTEGER";
+    case TypeId::kBigInt:
+      return "BIGINT";
+    case TypeId::kDecimal:
+      return "DECIMAL";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mainline::catalog

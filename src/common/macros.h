@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace mainline {
+
+/// Assert that fires in debug builds only. `message` documents the invariant.
+#define MAINLINE_ASSERT(expr, message) assert((expr) && (message))
+
+/// Marks a code path that must never be reached.
+#define MAINLINE_UNREACHABLE(message) \
+  do {                                \
+    assert(false && (message));      \
+    __builtin_unreachable();          \
+  } while (0)
+
+/// Disallow copy construction and copy assignment for the given class.
+#define DISALLOW_COPY(cname)          \
+  cname(const cname &) = delete;      \
+  cname &operator=(const cname &) = delete;
+
+/// Disallow move construction and move assignment for the given class.
+#define DISALLOW_MOVE(cname)     \
+  cname(cname &&) = delete;      \
+  cname &operator=(cname &&) = delete;
+
+/// Disallow both copying and moving.
+#define DISALLOW_COPY_AND_MOVE(cname) \
+  DISALLOW_COPY(cname)                \
+  DISALLOW_MOVE(cname)
+
+/// Hint to the branch predictor.
+#define LIKELY(x) __builtin_expect(!!(x), 1)
+#define UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/// Size of a cache line on the target architecture, for alignment of
+/// contended atomics.
+constexpr uint32_t kCacheLineSize = 64;
+
+}  // namespace mainline

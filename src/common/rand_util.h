@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace mainline::common {
+
+/// Fast, seedable PRNG (xorshift128+). Deterministic across platforms so
+/// workload generators are reproducible.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 to spread the seed over both words.
+    for (auto &s : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) { return lo + Next() % (hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// TPC-C NURand non-uniform distribution.
+  uint64_t NuRand(uint64_t a, uint64_t x, uint64_t y, uint64_t c) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string with length in [lo, hi].
+  std::string AlphaString(uint32_t lo, uint32_t hi) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    const uint32_t len = static_cast<uint32_t>(Uniform(lo, hi));
+    std::string result(len, '\0');
+    for (auto &ch : result) ch = kChars[Next() % (sizeof(kChars) - 1)];
+    return result;
+  }
+
+  /// Random numeric string with length in [lo, hi].
+  std::string NumericString(uint32_t lo, uint32_t hi) {
+    const uint32_t len = static_cast<uint32_t>(Uniform(lo, hi));
+    std::string result(len, '\0');
+    for (auto &ch : result) ch = static_cast<char>('0' + Next() % 10);
+    return result;
+  }
+
+ private:
+  uint64_t state_[2];
+};
+
+/// Zipfian distribution over [0, n) with skew theta, using the Gray et al.
+/// rejection-free method. Used by synthetic hot/cold workloads.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta) : n_(n), theta_(theta) {
+    for (uint64_t i = 1; i <= n; i++) zeta_n_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    zeta_2_ = 1.0 + 1.0 / std::pow(2.0, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta_2_ / zeta_n_);
+  }
+
+  uint64_t Next(Xorshift *rng) {
+    const double u = rng->UniformDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta_2_) return 1;
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zeta_n_ = 0.0;
+  double zeta_2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace mainline::common

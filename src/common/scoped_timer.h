@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// Measures wall-clock time of a scope and writes the elapsed duration (in
+/// the template unit, default microseconds) to the output pointer on
+/// destruction.
+template <typename Unit = std::chrono::microseconds>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t *elapsed)
+      : start_(std::chrono::high_resolution_clock::now()), elapsed_(elapsed) {}
+
+  DISALLOW_COPY_AND_MOVE(ScopedTimer)
+
+  ~ScopedTimer() {
+    const auto end = std::chrono::high_resolution_clock::now();
+    *elapsed_ = static_cast<uint64_t>(std::chrono::duration_cast<Unit>(end - start_).count());
+  }
+
+ private:
+  std::chrono::high_resolution_clock::time_point start_;
+  uint64_t *elapsed_;
+};
+
+}  // namespace mainline::common

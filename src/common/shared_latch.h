@@ -1,0 +1,49 @@
+#pragma once
+
+#include <shared_mutex>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// Reader-writer latch. Thin wrapper over std::shared_mutex with RAII guards
+/// named after the database convention (shared = read, exclusive = write).
+class SharedLatch {
+ public:
+  SharedLatch() = default;
+  DISALLOW_COPY_AND_MOVE(SharedLatch)
+
+  void LockExclusive() { latch_.lock(); }
+  void LockShared() { latch_.lock_shared(); }
+  bool TryLockExclusive() { return latch_.try_lock(); }
+  bool TryLockShared() { return latch_.try_lock_shared(); }
+  void UnlockExclusive() { latch_.unlock(); }
+  void UnlockShared() { latch_.unlock_shared(); }
+
+  /// RAII shared (read) guard.
+  class ScopedSharedLatch {
+   public:
+    explicit ScopedSharedLatch(SharedLatch *latch) : latch_(latch) { latch_->LockShared(); }
+    DISALLOW_COPY_AND_MOVE(ScopedSharedLatch)
+    ~ScopedSharedLatch() { latch_->UnlockShared(); }
+
+   private:
+    SharedLatch *latch_;
+  };
+
+  /// RAII exclusive (write) guard.
+  class ScopedExclusiveLatch {
+   public:
+    explicit ScopedExclusiveLatch(SharedLatch *latch) : latch_(latch) { latch_->LockExclusive(); }
+    DISALLOW_COPY_AND_MOVE(ScopedExclusiveLatch)
+    ~ScopedExclusiveLatch() { latch_->UnlockExclusive(); }
+
+   private:
+    SharedLatch *latch_;
+  };
+
+ private:
+  std::shared_mutex latch_;
+};
+
+}  // namespace mainline::common

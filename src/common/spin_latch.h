@@ -1,0 +1,47 @@
+#pragma once
+
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// A cheap test-and-test-and-set spin latch for very short critical sections
+/// (e.g. the commit critical section in the transaction manager).
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  DISALLOW_COPY_AND_MOVE(SpinLatch)
+
+  /// Acquire the latch, spinning until it is available.
+  void Lock() {
+    while (true) {
+      if (!latch_.exchange(true, std::memory_order_acquire)) return;
+      while (latch_.load(std::memory_order_relaxed)) {
+        __builtin_ia32_pause();
+      }
+    }
+  }
+
+  /// \return true if the latch was acquired without blocking.
+  bool TryLock() { return !latch_.exchange(true, std::memory_order_acquire); }
+
+  /// Release the latch.
+  void Unlock() { latch_.store(false, std::memory_order_release); }
+
+  /// RAII guard for SpinLatch.
+  class ScopedSpinLatch {
+   public:
+    explicit ScopedSpinLatch(SpinLatch *latch) : latch_(latch) { latch_->Lock(); }
+    DISALLOW_COPY_AND_MOVE(ScopedSpinLatch)
+    ~ScopedSpinLatch() { latch_->Unlock(); }
+
+   private:
+    SpinLatch *latch_;
+  };
+
+ private:
+  std::atomic<bool> latch_{false};
+};
+
+}  // namespace mainline::common

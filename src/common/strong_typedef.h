@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace mainline::common {
+
+/// A type-safe wrapper around an integral value. Distinct `Tag` types produce
+/// distinct, non-convertible C++ types, which prevents accidentally passing,
+/// say, a table oid where a column id is expected.
+///
+/// The wrapper is a trivially copyable value type with the same size as the
+/// underlying integer.
+template <class Tag, typename IntType>
+class StrongTypedef {
+ public:
+  using underlying_type = IntType;
+
+  StrongTypedef() = default;
+  constexpr explicit StrongTypedef(IntType value) : value_(value) {}
+
+  /// \return the raw underlying value.
+  constexpr IntType UnderlyingValue() const { return value_; }
+
+  constexpr bool operator==(const StrongTypedef &other) const = default;
+  constexpr auto operator<=>(const StrongTypedef &other) const = default;
+
+  StrongTypedef &operator++() {
+    ++value_;
+    return *this;
+  }
+
+  StrongTypedef operator++(int) {
+    StrongTypedef result = *this;
+    ++value_;
+    return result;
+  }
+
+  constexpr StrongTypedef operator+(IntType delta) const { return StrongTypedef(value_ + delta); }
+  constexpr StrongTypedef operator-(IntType delta) const { return StrongTypedef(value_ - delta); }
+
+  friend std::ostream &operator<<(std::ostream &os, const StrongTypedef &t) {
+    return os << t.value_;
+  }
+
+ private:
+  IntType value_;
+};
+
+}  // namespace mainline::common
+
+namespace std {
+/// Hash support so strong typedefs can key unordered containers.
+template <class Tag, typename IntType>
+struct hash<mainline::common::StrongTypedef<Tag, IntType>> {
+  size_t operator()(const mainline::common::StrongTypedef<Tag, IntType> &v) const {
+    return hash<IntType>()(v.UnderlyingValue());
+  }
+};
+}  // namespace std
+
+/// Declares a new strong typedef named `name` over integral type `underlying`.
+#define STRONG_TYPEDEF(name, underlying)                                  \
+  struct name##_tag_ {};                                                  \
+  using name = ::mainline::common::StrongTypedef<name##_tag_, underlying>

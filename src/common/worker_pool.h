@@ -1,0 +1,91 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// A fixed-size pool of worker threads consuming a shared task queue.
+/// Used by benchmarks and the parallel transformation pipeline.
+class WorkerPool {
+ public:
+  explicit WorkerPool(uint32_t num_workers) {
+    for (uint32_t i = 0; i < num_workers; i++) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  DISALLOW_COPY_AND_MOVE(WorkerPool)
+
+  ~WorkerPool() { Shutdown(); }
+
+  /// Enqueue a task for execution.
+  void SubmitTask(std::function<void()> task) {
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push(std::move(task));
+      outstanding_++;
+    }
+    task_cv_.notify_one();
+  }
+
+  /// Block until every submitted task has finished.
+  void WaitUntilAllFinished() {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  /// Stop accepting tasks and join all workers. Pending tasks are drained.
+  void Shutdown() {
+    {
+      std::lock_guard lock(mutex_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto &w : workers_) w.join();
+    workers_.clear();
+  }
+
+  uint32_t NumWorkers() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (tasks_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+      {
+        std::lock_guard lock(mutex_);
+        outstanding_--;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  uint64_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mainline::common

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+
+#include "arrowlite/array.h"
+#include "export/exporter.h"
+
+namespace mainline::exporter {
+
+/// Row-oriented, text-encoded wire protocol modeled on the PostgreSQL v3
+/// protocol: a RowDescription message followed by one DataRow message per
+/// tuple, every value rendered as text. The client parses each value back.
+/// This is the (4) baseline of Figure 15 and the "ODBC" path of Figure 1.
+class PostgresWireExporter final : public Exporter {
+ public:
+  /// \param client sink standing in for the client connection
+  explicit PostgresWireExporter(ClientBuffer *client) : client_(client) {}
+
+  ExportResult Export(storage::SqlTable *table,
+                      transaction::TransactionManager *txn_manager) override;
+  const char *Name() const override { return "postgres-wire"; }
+
+  /// \return the batch the client materialized from the wire bytes (set by
+  /// the last Export call).
+  const std::shared_ptr<arrowlite::RecordBatch> &ClientBatch() const { return client_batch_; }
+
+ private:
+  ClientBuffer *client_;
+  std::shared_ptr<arrowlite::RecordBatch> client_batch_;
+};
+
+/// Column-batch wire protocol in the style of Raasveldt & Mühleisen's
+/// vectorized client protocol [46]: per-block column chunks, fixed-width
+/// columns shipped as raw arrays, strings length-prefixed; the client still
+/// re-assembles arrays from the wire format.
+class VectorizedWireExporter final : public Exporter {
+ public:
+  explicit VectorizedWireExporter(ClientBuffer *client) : client_(client) {}
+
+  ExportResult Export(storage::SqlTable *table,
+                      transaction::TransactionManager *txn_manager) override;
+  const char *Name() const override { return "vectorized-wire"; }
+
+  const std::shared_ptr<arrowlite::RecordBatch> &ClientBatch() const { return client_batch_; }
+
+ private:
+  ClientBuffer *client_;
+  std::shared_ptr<arrowlite::RecordBatch> client_batch_;
+};
+
+/// Arrow-native RPC in the style of Arrow Flight: frozen blocks' buffers go
+/// onto the wire verbatim through the IPC stream writer (no per-value
+/// encoding), and the client lands them without parsing. Hot blocks are
+/// transactionally materialized first.
+class ArrowFlightExporter final : public Exporter {
+ public:
+  explicit ArrowFlightExporter(ClientBuffer *client) : client_(client) {}
+
+  ExportResult Export(storage::SqlTable *table,
+                      transaction::TransactionManager *txn_manager) override;
+  const char *Name() const override { return "arrow-flight"; }
+
+  /// Batches the client received (zero-parse).
+  const std::vector<std::shared_ptr<arrowlite::RecordBatch>> &ClientBatches() const {
+    return client_batches_;
+  }
+
+ private:
+  ClientBuffer *client_;
+  std::vector<std::shared_ptr<arrowlite::RecordBatch>> client_batches_;
+};
+
+/// Simulated client-side RDMA (see DESIGN.md substitution note): the server
+/// writes block buffers straight into the client's registered memory with no
+/// framing and no serialization; hot blocks are materialized first. The
+/// hardware NIC is replaced by memcpy, preserving the protocol cost
+/// structure Figure 15 isolates (zero serialization, no CPU-side encode).
+class RdmaExporter final : public Exporter {
+ public:
+  explicit RdmaExporter(ClientBuffer *client) : client_(client) {}
+
+  ExportResult Export(storage::SqlTable *table,
+                      transaction::TransactionManager *txn_manager) override;
+  const char *Name() const override { return "rdma"; }
+
+ private:
+  ClientBuffer *client_;
+};
+
+}  // namespace mainline::exporter

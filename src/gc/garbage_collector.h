@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/typedefs.h"
+#include "storage/storage_defs.h"
+
+namespace mainline::transaction {
+class TransactionManager;
+class TransactionContext;
+}
+namespace mainline::transform {
+class AccessObserver;
+}
+
+namespace mainline::gc {
+
+/// Epoch-based garbage collector (Section 3.3).
+///
+/// Each run proceeds in two phases over the queue of finished transactions:
+///
+/// 1. **Unlink**: transactions whose changes predate the oldest active
+///    transaction's start are invisible to everyone; their version chains are
+///    truncated (each chain exactly once per run, avoiding the quadratic
+///    per-record unlink).
+/// 2. **Deallocate**: unlinked records may still be traversed by readers that
+///    started before the unlink, so each unlink batch is stamped with a fresh
+///    timestamp and its memory is freed only once the oldest running
+///    transaction started after that stamp — an epoch-protection mechanism.
+///
+/// The same mechanism generalizes to arbitrary deferred actions (used by the
+/// gathering phase to reclaim replaced varlen buffers, Section 4.4).
+class GarbageCollector {
+ public:
+  explicit GarbageCollector(transaction::TransactionManager *txn_manager)
+      : txn_manager_(txn_manager) {}
+
+  DISALLOW_COPY_AND_MOVE(GarbageCollector)
+
+  ~GarbageCollector();
+
+  /// Run one unlink + deallocate pass.
+  /// \return {transactions deallocated, transactions unlinked}.
+  std::pair<uint32_t, uint32_t> PerformGarbageCollection();
+
+  /// Register an action to run once every transaction active now has
+  /// finished (epoch protection for non-transactional memory reclamation).
+  void RegisterDeferredAction(std::function<void()> action);
+
+  /// Attach the access observer fed with per-block modification statistics.
+  void SetAccessObserver(transform::AccessObserver *observer) { observer_ = observer; }
+
+  /// Run GC to quiescence: repeated passes until nothing remains. Only safe
+  /// when no transactions are running. Used at shutdown and in tests.
+  void FullGC();
+
+ private:
+  uint32_t ProcessUnlinkQueue(transaction::timestamp_t oldest);
+  uint32_t ProcessDeallocateQueue(transaction::timestamp_t oldest);
+  void ProcessDeferredActions(transaction::timestamp_t oldest);
+  static void TruncateVersionChain(storage::DataTable *table, storage::TupleSlot slot,
+                                   transaction::timestamp_t oldest);
+  static void DeallocateTransaction(transaction::TransactionContext *txn);
+
+  transaction::TransactionManager *txn_manager_;
+  transform::AccessObserver *observer_ = nullptr;
+
+  std::vector<transaction::TransactionContext *> txns_to_unlink_;
+  std::vector<std::pair<transaction::timestamp_t, transaction::TransactionContext *>>
+      txns_to_deallocate_;
+
+  common::SpinLatch actions_latch_;
+  std::vector<std::pair<transaction::timestamp_t, std::function<void()>>> deferred_actions_;
+};
+
+}  // namespace mainline::gc

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/shared_latch.h"
+#include "index/index.h"
+
+namespace mainline::index {
+
+/// A sharded hash index for point lookups. Each shard is an unordered_map
+/// under its own reader-writer latch; keys hash to shards, so operations on
+/// different shards never contend.
+class HashIndex final : public Index {
+ public:
+  static constexpr uint32_t kNumShards = 256;
+
+  HashIndex() = default;
+  DISALLOW_COPY_AND_MOVE(HashIndex)
+
+  bool Insert(const IndexKey &key, storage::TupleSlot value) override {
+    Shard &shard = ShardFor(key);
+    common::SharedLatch::ScopedExclusiveLatch guard(&shard.latch);
+    return shard.map.emplace(key, value).second;
+  }
+
+  bool Delete(const IndexKey &key) override {
+    Shard &shard = ShardFor(key);
+    common::SharedLatch::ScopedExclusiveLatch guard(&shard.latch);
+    return shard.map.erase(key) > 0;
+  }
+
+  bool Find(const IndexKey &key, storage::TupleSlot *out) const override {
+    const Shard &shard = ShardFor(key);
+    common::SharedLatch::ScopedSharedLatch guard(&shard.latch);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  uint64_t Size() const override {
+    uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+      common::SharedLatch::ScopedSharedLatch guard(&shard.latch);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable common::SharedLatch latch;
+    std::unordered_map<IndexKey, storage::TupleSlot> map;
+  };
+
+  Shard &ShardFor(const IndexKey &key) { return shards_[key.Hash() % kNumShards]; }
+  const Shard &ShardFor(const IndexKey &key) const { return shards_[key.Hash() % kNumShards]; }
+
+  Shard shards_[kNumShards];
+};
+
+}  // namespace mainline::index

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "index/index_key.h"
+#include "storage/storage_defs.h"
+
+namespace mainline::index {
+
+/// Abstract key-to-TupleSlot index. The paper's system uses the OpenBw-Tree;
+/// this reproduction substitutes a latch-crabbing B+-tree (ordered) and a
+/// sharded hash index (point lookups) behind this interface. Non-unique
+/// indexes are modeled by appending a unique suffix to the key and range
+/// scanning, as is conventional for composite-key indexes.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Insert a (key, slot) pair.
+  /// \return false if the key already exists.
+  virtual bool Insert(const IndexKey &key, storage::TupleSlot value) = 0;
+
+  /// Insert, replacing any existing entry for the key. Used when a key is
+  /// legitimately reused (e.g. an order id recycled after an abort left a
+  /// dead entry behind).
+  virtual void InsertOverwrite(const IndexKey &key, storage::TupleSlot value) {
+    if (!Insert(key, value)) {
+      Delete(key);
+      Insert(key, value);
+    }
+  }
+
+  /// Remove a key.
+  /// \return false if the key was absent.
+  virtual bool Delete(const IndexKey &key) = 0;
+
+  /// Point lookup.
+  /// \return true and the slot in `out` if found.
+  virtual bool Find(const IndexKey &key, storage::TupleSlot *out) const = 0;
+
+  /// Inclusive range scan in ascending key order, stopping after `limit`
+  /// results (0 = unlimited). Ordered indexes only.
+  virtual void ScanAscending(const IndexKey &lo, const IndexKey &hi, uint32_t limit,
+                             std::vector<storage::TupleSlot> *out) const {
+    (void)lo, (void)hi, (void)limit, (void)out;
+    MAINLINE_UNREACHABLE("range scans unsupported by this index type");
+  }
+
+  /// Inclusive range scan in descending key order.
+  virtual void ScanDescending(const IndexKey &lo, const IndexKey &hi, uint32_t limit,
+                              std::vector<storage::TupleSlot> *out) const {
+    (void)lo, (void)hi, (void)limit, (void)out;
+    MAINLINE_UNREACHABLE("range scans unsupported by this index type");
+  }
+
+  /// \return number of entries (approximate under concurrency).
+  virtual uint64_t Size() const = 0;
+};
+
+}  // namespace mainline::index

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string_view>
+#include <type_traits>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+
+namespace mainline::index {
+
+/// A fixed-size, memcmp-comparable composite index key. Fields are appended
+/// with order-preserving encodings (big-endian unsigned, sign-flipped
+/// big-endian signed, zero-padded fixed-width strings), so lexicographic
+/// byte comparison matches tuple-order comparison of the encoded fields.
+class IndexKey {
+ public:
+  static constexpr uint32_t kMaxSize = 64;
+
+  IndexKey() { data_.fill(byte{0}); }
+
+  /// Append an unsigned integer (big-endian).
+  template <typename T>
+  IndexKey &AddUnsigned(T value) {
+    static_assert(std::is_unsigned_v<T>);
+    for (int shift = (sizeof(T) - 1) * 8; shift >= 0; shift -= 8) {
+      Append(static_cast<byte>((value >> shift) & 0xFF));
+    }
+    return *this;
+  }
+
+  /// Append a signed integer (sign bit flipped, then big-endian, preserving
+  /// order across negative and positive values).
+  template <typename T>
+  IndexKey &AddSigned(T value) {
+    static_assert(std::is_signed_v<T>);
+    using U = std::make_unsigned_t<T>;
+    const U flipped = static_cast<U>(value) ^ (U{1} << (sizeof(T) * 8 - 1));
+    return AddUnsigned(flipped);
+  }
+
+  /// Append a string padded (or truncated) to `width` bytes.
+  IndexKey &AddString(std::string_view s, uint32_t width) {
+    const uint32_t copy = std::min<uint32_t>(width, static_cast<uint32_t>(s.size()));
+    MAINLINE_ASSERT(size_ + width <= kMaxSize, "index key overflow");
+    std::memcpy(data_.data() + size_, s.data(), copy);
+    size_ += width;  // remaining bytes already zero
+    return *this;
+  }
+
+  bool operator==(const IndexKey &other) const {
+    return std::memcmp(data_.data(), other.data_.data(), kMaxSize) == 0;
+  }
+  bool operator<(const IndexKey &other) const {
+    return std::memcmp(data_.data(), other.data_.data(), kMaxSize) < 0;
+  }
+  bool operator<=(const IndexKey &other) const { return !(other < *this); }
+
+  const byte *Data() const { return data_.data(); }
+  uint32_t Size() const { return size_; }
+
+  size_t Hash() const {
+    // FNV-1a over the full (zero-padded) key.
+    uint64_t h = 1469598103934665603ULL;
+    for (const byte b : data_) {
+      h ^= static_cast<uint8_t>(b);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  void Append(byte b) {
+    MAINLINE_ASSERT(size_ < kMaxSize, "index key overflow");
+    data_[size_++] = b;
+  }
+
+  std::array<byte, kMaxSize> data_;
+  uint32_t size_ = 0;
+};
+
+}  // namespace mainline::index
+
+namespace std {
+template <>
+struct hash<mainline::index::IndexKey> {
+  size_t operator()(const mainline::index::IndexKey &key) const { return key.Hash(); }
+};
+}  // namespace std

@@ -1,0 +1,159 @@
+#include "logging/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "storage/data_table.h"
+#include "storage/varlen_entry.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::logging {
+
+LogManager::LogManager(std::string log_file_path,
+                       transaction::TransactionManager *txn_manager)
+    : log_file_path_(std::move(log_file_path)), txn_manager_(txn_manager) {
+  fd_ = open(log_file_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  MAINLINE_ASSERT(fd_ >= 0, "failed to open log file");
+}
+
+LogManager::~LogManager() {
+  Shutdown();
+  if (fd_ >= 0) close(fd_);
+}
+
+void LogManager::Start() {
+  if (run_flush_thread_.exchange(true)) return;
+  flush_thread_ = std::thread([this] { FlushLoop(); });
+}
+
+void LogManager::Shutdown() {
+  if (run_flush_thread_.exchange(false)) {
+    flush_cv_.notify_all();
+    flush_thread_.join();
+  }
+  ForceFlush();
+}
+
+void LogManager::AddTransaction(transaction::TransactionContext *txn) {
+  {
+    std::lock_guard lock(queue_latch_);
+    flush_queue_.push_back(txn);
+  }
+  flush_cv_.notify_one();
+}
+
+void LogManager::FlushLoop() {
+  while (run_flush_thread_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock lock(queue_latch_);
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(5), [this] {
+        return !flush_queue_.empty() || !run_flush_thread_.load(std::memory_order_acquire);
+      });
+    }
+    ForceFlush();
+  }
+}
+
+void LogManager::ForceFlush() {
+  std::vector<transaction::TransactionContext *> batch;
+  {
+    std::lock_guard lock(queue_latch_);
+    batch.swap(flush_queue_);
+  }
+  if (batch.empty()) return;
+
+  std::vector<std::pair<CommitRecord::DurabilityCallback, void *>> callbacks;
+  for (transaction::TransactionContext *txn : batch) ProcessTransaction(txn, &callbacks);
+  FlushAndSync();
+  // Group commit: only after fsync do the transactions' results become
+  // publishable to clients.
+  for (auto &[callback, arg] : callbacks) {
+    if (callback != nullptr) callback(arg);
+  }
+  // Now that the records are serialized, the GC may reclaim these
+  // transactions' buffers.
+  for (transaction::TransactionContext *txn : batch) {
+    txn_manager_->TransactionFinished(txn);
+  }
+}
+
+void LogManager::ProcessTransaction(
+    transaction::TransactionContext *txn,
+    std::vector<std::pair<CommitRecord::DurabilityCallback, void *>> *callbacks) {
+  for (const LogRecord *record : txn->RedoRecords()) {
+    if (record->RecordType() == LogRecordType::kCommit) {
+      const auto *commit = record->GetUnderlyingRecordBodyAs<CommitRecord>();
+      callbacks->emplace_back(commit->Callback(), commit->CallbackArg());
+      // The log manager skips writing read-only commit records to disk after
+      // processing the callback (Section 3.4).
+      if (commit->IsReadOnly()) continue;
+    }
+    SerializeRecord(*record);
+  }
+}
+
+void LogManager::SerializeRecord(const LogRecord &record) {
+  WriteValue(static_cast<uint8_t>(record.RecordType()));
+  WriteValue(record.TxnBegin());
+  switch (record.RecordType()) {
+    case LogRecordType::kRedo: {
+      const auto *redo = record.GetUnderlyingRecordBodyAs<RedoRecord>();
+      MAINLINE_ASSERT(table_resolver_ != nullptr, "table resolver required for redo records");
+      const storage::DataTable *table = table_resolver_(redo->TableOid());
+      const storage::BlockLayout &layout = table->GetLayout();
+      WriteValue(redo->TableOid().UnderlyingValue());
+      WriteValue(static_cast<uint64_t>(redo->Slot().RawBytes()));
+      WriteValue(static_cast<uint8_t>(redo->IsInsert() ? 1 : 0));
+      const storage::ProjectedRow *delta = redo->Delta();
+      WriteValue(delta->NumColumns());
+      for (uint16_t i = 0; i < delta->NumColumns(); i++) {
+        WriteValue(delta->ColumnIds()[i].UnderlyingValue());
+      }
+      // Values are serialized by content; varlen contents are inlined so the
+      // log is self-contained across restarts.
+      for (uint16_t i = 0; i < delta->NumColumns(); i++) {
+        const storage::col_id_t col = delta->ColumnIds()[i];
+        const byte *value = delta->AccessWithNullCheck(i);
+        WriteValue(static_cast<uint8_t>(value == nullptr ? 0 : 1));
+        if (value == nullptr) continue;
+        if (layout.IsVarlen(col)) {
+          const auto *entry = reinterpret_cast<const storage::VarlenEntry *>(value);
+          WriteValue(entry->Size());
+          WriteBytes(entry->Content(), entry->Size());
+        } else {
+          WriteBytes(value, layout.AttrSize(col));
+        }
+      }
+      break;
+    }
+    case LogRecordType::kDelete: {
+      const auto *del = record.GetUnderlyingRecordBodyAs<DeleteRecord>();
+      WriteValue(del->TableOid().UnderlyingValue());
+      WriteValue(static_cast<uint64_t>(del->Slot().RawBytes()));
+      break;
+    }
+    case LogRecordType::kCommit: {
+      const auto *commit = record.GetUnderlyingRecordBodyAs<CommitRecord>();
+      WriteValue(commit->CommitTime());
+      break;
+    }
+    case LogRecordType::kAbort:
+      break;
+  }
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogManager::FlushAndSync() {
+  if (!out_buffer_.empty()) {
+    ssize_t written = write(fd_, out_buffer_.data(), out_buffer_.size());
+    MAINLINE_ASSERT(written == static_cast<ssize_t>(out_buffer_.size()), "short write to log");
+    (void)written;
+    bytes_written_.fetch_add(out_buffer_.size(), std::memory_order_relaxed);
+    out_buffer_.clear();
+  }
+  fsync(fd_);
+}
+
+}  // namespace mainline::logging

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "logging/log_record.h"
+#include "storage/record_buffer.h"
+
+namespace mainline::transaction {
+class TransactionManager;
+class TransactionContext;
+}
+
+namespace mainline::logging {
+
+/// Write-ahead log manager (Section 3.4). Committing transactions enqueue
+/// their redo buffers; a background thread serializes the records into an
+/// on-disk format, flushes with fsync (group commit), and then invokes the
+/// commit callbacks embedded in the commit records. The rest of the system
+/// treats a transaction as committed as soon as its commit record is
+/// enqueued, but its result is not released to the client until the callback
+/// fires.
+///
+/// Read-only transactions also pass through the queue (to guard against the
+/// speculative-read anomaly described in the paper) but their commit records
+/// are not written to disk.
+///
+/// A transaction is forwarded to the garbage collector only after its records
+/// are serialized, so the GC can never reclaim varlen buffers the serializer
+/// still references.
+class LogManager {
+ public:
+  /// Resolves a table oid to its DataTable so the serializer can interpret
+  /// attribute sizes and varlen columns. Installed by the catalog.
+  using TableResolver = std::function<storage::DataTable *(catalog::table_oid_t)>;
+
+  /// \param log_file_path file the serialized log is appended to
+  /// \param txn_manager manager to forward serialized transactions to
+  LogManager(std::string log_file_path, transaction::TransactionManager *txn_manager);
+
+  DISALLOW_COPY_AND_MOVE(LogManager)
+
+  ~LogManager();
+
+  /// Spawn the background serializer thread.
+  void Start();
+
+  /// Drain the queue, flush, and join the background thread.
+  void Shutdown();
+
+  /// Enqueue a committed (or read-only) transaction's redo buffer.
+  void AddTransaction(transaction::TransactionContext *txn);
+
+  /// Synchronously process everything currently queued (serialize + fsync +
+  /// run callbacks). Used by tests and single-threaded setups.
+  void ForceFlush();
+
+  /// Install the table resolver used to interpret redo record payloads.
+  void SetTableResolver(TableResolver resolver) { table_resolver_ = std::move(resolver); }
+
+  /// \return number of log records written to disk so far.
+  uint64_t RecordsWritten() const { return records_written_.load(std::memory_order_relaxed); }
+  /// \return number of bytes written to disk so far.
+  uint64_t BytesWritten() const { return bytes_written_.load(std::memory_order_relaxed); }
+
+ private:
+  void FlushLoop();
+  /// Serialize and stage one transaction's records; collects its durability
+  /// callback (if any) into `callbacks`.
+  void ProcessTransaction(transaction::TransactionContext *txn,
+                          std::vector<std::pair<CommitRecord::DurabilityCallback, void *>>
+                              *callbacks);
+  void SerializeRecord(const LogRecord &record);
+  void FlushAndSync();
+
+  template <typename T>
+  void WriteValue(const T &value) {
+    const auto *bytes = reinterpret_cast<const byte *>(&value);
+    out_buffer_.insert(out_buffer_.end(), bytes, bytes + sizeof(T));
+  }
+  void WriteBytes(const byte *bytes, uint64_t size) {
+    out_buffer_.insert(out_buffer_.end(), bytes, bytes + size);
+  }
+
+  std::string log_file_path_;
+  transaction::TransactionManager *txn_manager_;
+  TableResolver table_resolver_;
+  int fd_ = -1;
+
+  std::mutex queue_latch_;
+  std::vector<transaction::TransactionContext *> flush_queue_;
+  std::condition_variable flush_cv_;
+
+  std::vector<byte> out_buffer_;
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+
+  std::thread flush_thread_;
+  std::atomic<bool> run_flush_thread_{false};
+};
+
+}  // namespace mainline::logging

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+
+namespace mainline::storage {
+
+/// How a column of a frozen block is physically represented for Arrow
+/// readers (Section 4.4: the gathering phase can emit alternative formats).
+enum class ArrowColumnType : uint8_t {
+  /// Fixed-length values exposed in place from block storage.
+  kFixed = 0,
+  /// Variable-length values gathered into a contiguous values buffer with an
+  /// int32 offsets array (canonical Arrow varbinary).
+  kGatheredVarlen,
+  /// Dictionary-compressed: int32 codes per record plus a sorted dictionary
+  /// (the Parquet/ORC-style alternative format).
+  kDictionaryCompressed,
+};
+
+/// An Arrow-compliant (values, offsets) buffer pair for one variable-length
+/// column of one block. Owned by the block's ArrowBlockMetadata; freed via a
+/// deferred action when the block is re-gathered or released.
+struct ArrowVarlenBuffer {
+  std::unique_ptr<byte[]> values;
+  std::unique_ptr<int32_t[]> offsets;  // num_records + 1 entries
+  uint64_t values_size = 0;
+};
+
+/// Per-column Arrow metadata of a frozen block.
+struct ArrowColumnInfo {
+  ArrowColumnType type = ArrowColumnType::kFixed;
+  uint32_t null_count = 0;
+  /// Gathered values (kGatheredVarlen) or unused.
+  ArrowVarlenBuffer varlen;
+  /// Dictionary codes, one per record (kDictionaryCompressed) or unused.
+  std::unique_ptr<int32_t[]> indices;
+  /// Dictionary words, sorted ascending (kDictionaryCompressed) or unused.
+  ArrowVarlenBuffer dictionary;
+  uint32_t dictionary_size = 0;
+};
+
+/// Metadata the gathering phase computes for a frozen block (null counts,
+/// gathered varlen buffers, dictionaries). Stored out-of-block, pointed to by
+/// the RawBlock header. Immutable once published.
+class ArrowBlockMetadata {
+ public:
+  ArrowBlockMetadata(uint32_t num_records, uint16_t num_columns)
+      : num_records_(num_records), columns_(num_columns) {}
+
+  DISALLOW_COPY_AND_MOVE(ArrowBlockMetadata)
+
+  /// \return number of (contiguous, allocated) records the block holds.
+  uint32_t NumRecords() const { return num_records_; }
+
+  ArrowColumnInfo &Column(uint16_t idx) { return columns_[idx]; }
+  const ArrowColumnInfo &Column(uint16_t idx) const { return columns_[idx]; }
+
+ private:
+  uint32_t num_records_;
+  std::vector<ArrowColumnInfo> columns_;
+};
+
+}  // namespace mainline::storage

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace mainline::storage {
+
+/// Temperature / access state of a block (Section 4.1 and 4.3).
+enum class BlockState : uint32_t {
+  /// Freshly written or recently modified; Arrow readers must materialize.
+  kHot = 0,
+  /// The transformation thread intends to freeze this block. User
+  /// transactions may preempt by flipping the state back to hot.
+  kCooling,
+  /// Exclusive lock held by the gathering phase; updaters wait.
+  kFreezing,
+  /// Fully Arrow-compliant; in-place readers allowed under the reader count.
+  kFrozen,
+};
+
+/// Coordinates access between transactional updaters, the background
+/// transformation thread, and in-place (Arrow) readers.
+///
+/// A single 64-bit word packs the state (low 32 bits) and a reader counter
+/// (high 32 bits). The counter acts as a reader-writer lock for frozen blocks
+/// (Figure 7): in-place readers increment it while scanning; a transaction
+/// that wants to update a frozen block first flips the state to hot (blocking
+/// new in-place readers) and then spins until lingering readers leave.
+class BlockAccessController {
+ public:
+  /// Reset the controller to the hot state with no readers.
+  void Initialize() { word_.store(Pack(BlockState::kHot, 0), std::memory_order_release); }
+
+  /// \return the block's current state.
+  BlockState GetState() const {
+    return UnpackState(word_.load(std::memory_order_acquire));
+  }
+
+  /// \return the current number of in-place readers.
+  uint32_t ReaderCount() const {
+    return UnpackReaders(word_.load(std::memory_order_acquire));
+  }
+
+  /// Try to register this thread as an in-place reader. Succeeds only if the
+  /// block is frozen.
+  /// \return true if a read lock was acquired (pair with ReleaseRead).
+  bool TryAcquireRead() {
+    uint64_t current = word_.load(std::memory_order_acquire);
+    while (true) {
+      if (UnpackState(current) != BlockState::kFrozen) return false;
+      const uint64_t desired = Pack(BlockState::kFrozen, UnpackReaders(current) + 1);
+      if (word_.compare_exchange_weak(current, desired, std::memory_order_acq_rel)) return true;
+    }
+  }
+
+  /// Release a read lock acquired with TryAcquireRead.
+  void ReleaseRead() { word_.fetch_sub(uint64_t{1} << 32, std::memory_order_acq_rel); }
+
+  /// Called by a transaction before modifying the block. Ensures the state is
+  /// hot and waits for any lingering in-place readers to finish. Preempts a
+  /// pending cooling state; waits out an in-progress freezing critical
+  /// section.
+  void WaitUntilHot() {
+    uint64_t current = word_.load(std::memory_order_acquire);
+    while (true) {
+      const BlockState state = UnpackState(current);
+      if (state == BlockState::kFreezing) {
+        // Exclusive lock held by the gathering phase; spin until it finishes.
+        current = word_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (state == BlockState::kHot) break;
+      // kCooling or kFrozen: flip to hot, preserving the reader count.
+      const uint64_t desired = Pack(BlockState::kHot, UnpackReaders(current));
+      if (word_.compare_exchange_weak(current, desired, std::memory_order_acq_rel)) break;
+    }
+    // Wait for lingering in-place readers to leave the block.
+    while (ReaderCount() != 0) __builtin_ia32_pause();
+  }
+
+  /// Transformation thread: announce intent to freeze. Only valid from hot.
+  /// \return true if the state moved hot -> cooling.
+  bool TrySetCooling() {
+    uint64_t expected = Pack(BlockState::kHot, 0);
+    return word_.compare_exchange_strong(expected, Pack(BlockState::kCooling, 0),
+                                         std::memory_order_acq_rel);
+  }
+
+  /// Transformation thread: take the exclusive lock. Only valid from cooling;
+  /// fails if a user transaction preempted the cooling state.
+  /// \return true if the state moved cooling -> freezing.
+  bool TrySetFreezing() {
+    uint64_t expected = Pack(BlockState::kCooling, 0);
+    return word_.compare_exchange_strong(expected, Pack(BlockState::kFreezing, 0),
+                                         std::memory_order_acq_rel);
+  }
+
+  /// Transformation thread: release the exclusive lock, marking the block
+  /// fully Arrow-compliant.
+  void SetFrozen() { word_.store(Pack(BlockState::kFrozen, 0), std::memory_order_release); }
+
+ private:
+  static constexpr uint64_t Pack(BlockState state, uint32_t readers) {
+    return (static_cast<uint64_t>(readers) << 32) | static_cast<uint32_t>(state);
+  }
+  static constexpr BlockState UnpackState(uint64_t word) {
+    return static_cast<BlockState>(static_cast<uint32_t>(word));
+  }
+  static constexpr uint32_t UnpackReaders(uint64_t word) {
+    return static_cast<uint32_t>(word >> 32);
+  }
+
+  std::atomic<uint64_t> word_{0};
+};
+
+}  // namespace mainline::storage

@@ -1,0 +1,54 @@
+#include "storage/block_layout.h"
+
+#include <numeric>
+
+namespace mainline::storage {
+
+namespace {
+constexpr uint32_t AlignUp8(uint32_t x) { return (x + 7u) & ~7u; }
+}  // namespace
+
+BlockLayout::BlockLayout(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  MAINLINE_ASSERT(!columns_.empty(), "a layout must have at least one column");
+  for (const auto &c : columns_) {
+    MAINLINE_ASSERT(c.attr_size == 1 || c.attr_size == 2 || c.attr_size == 4 ||
+                        (c.attr_size % 8 == 0 && c.attr_size <= 4096),
+                    "attribute sizes must be 1, 2, 4 or a multiple of 8 up to 4096");
+    MAINLINE_ASSERT(!c.varlen || c.attr_size == 16, "varlen columns store 16-byte VarlenEntry");
+    tuple_size_ += c.attr_size;
+    has_varlen_ = has_varlen_ || c.varlen;
+  }
+  column_offsets_.resize(columns_.size());
+
+  // Initial estimate: bytes available divided by per-slot footprint (version
+  // pointer + attribute bytes + one allocation bit + one null bit per column).
+  const double per_slot = 8.0 + tuple_size_ + (1.0 + columns_.size()) / 8.0;
+  auto num_slots = static_cast<uint32_t>((kBlockSize - kHeaderSize) / per_slot);
+  // Shrink until the layout (with alignment padding) fits.
+  while (num_slots > 0 && ComputeOffsets(num_slots) > kBlockSize) num_slots--;
+  MAINLINE_ASSERT(num_slots > 0, "tuple too large to fit in a block");
+  num_slots_ = num_slots;
+  ComputeOffsets(num_slots_);
+}
+
+uint32_t BlockLayout::ComputeOffsets(uint32_t num_slots) {
+  uint32_t offset = kHeaderSize;
+  offset += common::BitmapSize(num_slots);  // allocation bitmap (already 8-byte multiple)
+  version_ptr_offset_ = offset;
+  offset += 8 * num_slots;
+  for (size_t i = 0; i < columns_.size(); i++) {
+    column_offsets_[i] = offset;
+    offset += common::BitmapSize(num_slots);
+    offset = AlignUp8(offset + columns_[i].attr_size * num_slots);
+  }
+  return offset;
+}
+
+std::vector<col_id_t> BlockLayout::AllColumnIds() const {
+  std::vector<col_id_t> result;
+  result.reserve(columns_.size());
+  for (uint16_t i = 0; i < columns_.size(); i++) result.emplace_back(i);
+  return result;
+}
+
+}  // namespace mainline::storage

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/raw_bitmap.h"
+#include "common/typedefs.h"
+#include "storage/storage_defs.h"
+
+namespace mainline::storage {
+
+/// Describes one column of a block layout.
+struct ColumnSpec {
+  /// Size in bytes of a value of this column. Variable-length columns store a
+  /// 16-byte VarlenEntry. Fixed-length columns may be any multiple-of-8 size
+  /// up to 4096 (large fused columns are used to simulate a row-store), or
+  /// 1/2/4/8 for scalar types.
+  uint16_t attr_size;
+  /// True if this column stores VarlenEntry values.
+  bool varlen = false;
+};
+
+/// Precomputed physical layout of a table's blocks (Section 3.2): the number
+/// of slots per block, each column's size, and each column's byte offset from
+/// the head of the block. Calculated once per table and shared by all blocks.
+///
+/// In-block layout, all regions 8-byte aligned:
+///
+///   [ header | allocation bitmap | version pointer column |
+///     col 0 validity bitmap | col 0 values | col 1 validity bitmap | ... ]
+///
+/// The version pointer column is the "extra Arrow column invisible to
+/// external readers" of Section 3.1.
+class BlockLayout {
+ public:
+  /// Reserved header space at the head of every block (see RawBlock).
+  static constexpr uint32_t kHeaderSize = 64;
+
+  explicit BlockLayout(std::vector<ColumnSpec> columns);
+
+  /// \return number of columns in the layout.
+  uint16_t NumColumns() const { return static_cast<uint16_t>(columns_.size()); }
+
+  /// \return size in bytes of values of column `col`.
+  uint16_t AttrSize(col_id_t col) const { return columns_[col.UnderlyingValue()].attr_size; }
+
+  /// \return true if column `col` stores variable-length values.
+  bool IsVarlen(col_id_t col) const { return columns_[col.UnderlyingValue()].varlen; }
+
+  /// \return true if any column is variable-length.
+  bool HasVarlen() const { return has_varlen_; }
+
+  /// \return number of tuple slots each block holds.
+  uint32_t NumSlots() const { return num_slots_; }
+
+  /// \return total bytes of a tuple's attributes (excluding bitmaps/version).
+  uint32_t TupleSize() const { return tuple_size_; }
+
+  /// \return byte offset (from block head) of the allocation bitmap.
+  uint32_t AllocationBitmapOffset() const { return kHeaderSize; }
+
+  /// \return byte offset of the version-pointer column.
+  uint32_t VersionPtrOffset() const { return version_ptr_offset_; }
+
+  /// \return byte offset of column `col`'s validity (null) bitmap.
+  uint32_t ColumnBitmapOffset(col_id_t col) const {
+    return column_offsets_[col.UnderlyingValue()];
+  }
+
+  /// \return byte offset of column `col`'s value array.
+  uint32_t ColumnValuesOffset(col_id_t col) const {
+    return column_offsets_[col.UnderlyingValue()] + common::BitmapSize(num_slots_);
+  }
+
+  /// \return all column ids, in layout order.
+  std::vector<col_id_t> AllColumnIds() const;
+
+  bool operator==(const BlockLayout &other) const {
+    return num_slots_ == other.num_slots_ && column_offsets_ == other.column_offsets_;
+  }
+
+ private:
+  /// Compute per-column offsets for a candidate slot count; \return the total
+  /// footprint in bytes.
+  uint32_t ComputeOffsets(uint32_t num_slots);
+
+  std::vector<ColumnSpec> columns_;
+  std::vector<uint32_t> column_offsets_;  // offset of each column's bitmap
+  uint32_t version_ptr_offset_ = 0;
+  uint32_t num_slots_ = 0;
+  uint32_t tuple_size_ = 0;
+  bool has_varlen_ = false;
+};
+
+}  // namespace mainline::storage

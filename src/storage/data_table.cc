@@ -1,0 +1,254 @@
+#include "storage/data_table.h"
+
+#include "storage/arrow_block_metadata.h"
+#include "storage/storage_util.h"
+#include "storage/varlen_entry.h"
+#include "transaction/transaction_context.h"
+
+namespace mainline::storage {
+
+DataTable::DataTable(BlockStore *store, const BlockLayout &layout, layout_version_t version)
+    : block_store_(store),
+      accessor_(layout),
+      version_(version),
+      full_row_initializer_(ProjectedRowInitializer::CreateFull(layout)) {
+  insertion_block_.store(NewBlock(), std::memory_order_release);
+}
+
+DataTable::~DataTable() {
+  const BlockLayout &layout = GetLayout();
+  for (RawBlock *block : blocks_) {
+    // Free owned out-of-line varlen values still referenced by block storage.
+    for (const col_id_t col : layout.AllColumnIds()) {
+      if (!layout.IsVarlen(col)) continue;
+      const uint32_t limit = block->insert_head.load(std::memory_order_relaxed);
+      for (uint32_t i = 0; i < limit; i++) {
+        const TupleSlot slot(block, i);
+        if (!accessor_.Allocated(slot)) continue;
+        const byte *value = accessor_.AccessWithNullCheck(slot, col);
+        if (value == nullptr) continue;
+        const auto *entry = reinterpret_cast<const VarlenEntry *>(value);
+        if (entry->NeedReclaim()) delete[] entry->Content();
+      }
+    }
+    delete block->arrow_metadata;
+    block_store_->Release(block);
+  }
+}
+
+bool DataTable::Select(transaction::TransactionContext *txn, TupleSlot slot,
+                       ProjectedRow *out_buffer) const {
+  // Copy the latest version first; read presence and the version pointer
+  // afterwards. Writers install their undo record *before* writing in place,
+  // so any write that could have torn our copy is repaired by applying that
+  // record's before-image during traversal.
+  for (uint16_t i = 0; i < out_buffer->NumColumns(); i++) {
+    StorageUtil::CopyAttrIntoProjection(accessor_, slot, out_buffer, i);
+  }
+  bool visible = accessor_.Allocated(slot);
+  UndoRecord *record = accessor_.VersionPtr(slot).load(std::memory_order_seq_cst);
+
+  if (record == nullptr) return visible;
+
+  const BlockLayout &layout = GetLayout();
+  while (record != nullptr) {
+    const transaction::timestamp_t ts = record->Timestamp().load(std::memory_order_acquire);
+    // Our own uncommitted changes are visible to us.
+    if (ts == txn->TxnId()) break;
+    // Committed at or before our start: this version is visible; everything
+    // applied so far reconstructs it. (Unsigned comparison: uncommitted ids
+    // have the sign bit set and are never <= any start time.)
+    if (ts <= txn->StartTime()) break;
+    if (record->Table() != nullptr) {
+      switch (record->Type()) {
+        case DeltaType::kUpdate:
+          StorageUtil::ApplyDelta(layout, *record->Delta(), out_buffer);
+          break;
+        case DeltaType::kInsert:
+          visible = false;
+          break;
+        case DeltaType::kDelete:
+          visible = true;
+          StorageUtil::ApplyDelta(layout, *record->Delta(), out_buffer);
+          break;
+      }
+    }
+    record = record->Next().load(std::memory_order_acquire);
+  }
+  return visible;
+}
+
+bool DataTable::HasConflict(const transaction::TransactionContext &txn, UndoRecord *head) const {
+  if (head == nullptr) return false;
+  const transaction::timestamp_t ts = head->Timestamp().load(std::memory_order_acquire);
+  if (transaction::IsUncommitted(ts)) return ts != txn.TxnId();
+  return ts > txn.StartTime();
+}
+
+void DataTable::RegisterLooseVarlens(transaction::TransactionContext *txn,
+                                     const ProjectedRow &redo) const {
+  const BlockLayout &layout = GetLayout();
+  if (!layout.HasVarlen()) return;
+  for (uint16_t i = 0; i < redo.NumColumns(); i++) {
+    if (!layout.IsVarlen(redo.ColumnIds()[i])) continue;
+    const byte *value = redo.AccessWithNullCheck(i);
+    if (value == nullptr) continue;
+    txn->RegisterLooseVarlen(*reinterpret_cast<const VarlenEntry *>(value));
+  }
+}
+
+void DataTable::WriteValues(TupleSlot slot, const ProjectedRow &redo) const {
+  for (uint16_t i = 0; i < redo.NumColumns(); i++) {
+    StorageUtil::CopyAttrFromProjection(accessor_, slot, redo, i);
+  }
+}
+
+bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
+                       const ProjectedRow &redo) {
+  EnsureHot(slot.GetBlock());
+  std::atomic<UndoRecord *> &version_ptr = accessor_.VersionPtr(slot);
+  UndoRecord *undo = nullptr;
+  while (true) {
+    UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
+    if (HasConflict(*txn, head)) {
+      // Mark an already-reserved record as never-installed so rollback and
+      // GC skip it.
+      if (undo != nullptr) undo->SetTableNull();
+      return false;
+    }
+    // A deleted (or not-yet-published) tuple cannot be updated.
+    if (!accessor_.Allocated(slot)) {
+      if (undo != nullptr) undo->SetTableNull();
+      return false;
+    }
+    if (undo == nullptr) undo = txn->UndoRecordForUpdate(this, slot, redo);
+    // Populate the before-image of exactly the updated columns. Re-populated
+    // on retry: a CAS failure means the chain head changed under us (another
+    // writer, or the GC truncating the chain) and the image may be stale.
+    for (uint16_t i = 0; i < redo.NumColumns(); i++) {
+      StorageUtil::CopyAttrIntoProjection(accessor_, slot, undo->Delta(), i);
+    }
+    undo->Next().store(head, std::memory_order_relaxed);
+    if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
+  }
+  RegisterLooseVarlens(txn, redo);
+  // Apply the update in place. Readers that copied torn data repair it via
+  // the undo record installed above.
+  WriteValues(slot, redo);
+  return true;
+}
+
+TupleSlot DataTable::Insert(transaction::TransactionContext *txn, const ProjectedRow &redo) {
+  // Claim a never-used slot, appending a new block if the table is full.
+  TupleSlot slot;
+  while (true) {
+    RawBlock *block = insertion_block_.load(std::memory_order_acquire);
+    EnsureHot(block);
+    if (accessor_.Allocate(block, &slot)) break;
+    // Block full: install a fresh insertion block (single winner).
+    common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
+    if (insertion_block_.load(std::memory_order_acquire) == block) {
+      RawBlock *new_block = block_store_->Get();
+      MAINLINE_ASSERT(new_block != nullptr, "block store exhausted");
+      accessor_.InitializeRawBlock(this, new_block, version_);
+      blocks_.push_back(new_block);
+      insertion_block_.store(new_block, std::memory_order_release);
+    }
+  }
+
+  UndoRecord *undo = txn->UndoRecordForInsert(this, slot);
+  // The slot is never-used: its version pointer is null and invisible to all
+  // other transactions until the allocation bit is published below.
+  accessor_.VersionPtr(slot).store(undo, std::memory_order_seq_cst);
+  WriteValues(slot, redo);
+  RegisterLooseVarlens(txn, redo);
+  accessor_.SetAllocated(slot);
+  return slot;
+}
+
+bool DataTable::InsertInto(transaction::TransactionContext *txn, TupleSlot dest,
+                           const ProjectedRow &redo) {
+  EnsureHot(dest.GetBlock());
+  std::atomic<UndoRecord *> &version_ptr = accessor_.VersionPtr(dest);
+  UndoRecord *undo = nullptr;
+  while (true) {
+    UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
+    if (HasConflict(*txn, head) || accessor_.Allocated(dest)) {
+      if (undo != nullptr) undo->SetTableNull();
+      return false;
+    }
+    if (undo == nullptr) undo = txn->UndoRecordForInsert(this, dest);
+    // Chain on top of any residual (committed, older) records: old readers
+    // reconstruct the previous occupant through the delete record below us.
+    undo->Next().store(head, std::memory_order_relaxed);
+    if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
+  }
+  WriteValues(dest, redo);
+  RegisterLooseVarlens(txn, redo);
+  accessor_.SetAllocated(dest);
+  // Compaction may fill slots beyond the insert head (e.g. when topping up a
+  // partially-filled block); extend the head so scans cover them.
+  std::atomic<uint32_t> &head = dest.GetBlock()->insert_head;
+  uint32_t cur = head.load(std::memory_order_acquire);
+  while (cur <= dest.GetOffset() &&
+         !head.compare_exchange_weak(cur, dest.GetOffset() + 1, std::memory_order_acq_rel)) {
+  }
+  return true;
+}
+
+bool DataTable::Delete(transaction::TransactionContext *txn, TupleSlot slot) {
+  EnsureHot(slot.GetBlock());
+  std::atomic<UndoRecord *> &version_ptr = accessor_.VersionPtr(slot);
+  UndoRecord *undo = nullptr;
+  while (true) {
+    UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
+    if (HasConflict(*txn, head) || !accessor_.Allocated(slot)) {
+      if (undo != nullptr) undo->SetTableNull();
+      return false;
+    }
+    // Full-row before-image: the compactor may later recycle this slot's
+    // bytes while old readers still reconstruct the deleted tuple
+    // (Section 4.3).
+    if (undo == nullptr) undo = txn->UndoRecordForDelete(this, slot, full_row_initializer_);
+    for (uint16_t i = 0; i < undo->Delta()->NumColumns(); i++) {
+      StorageUtil::CopyAttrIntoProjection(accessor_, slot, undo->Delta(), i);
+    }
+    undo->Next().store(head, std::memory_order_relaxed);
+    if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
+  }
+  accessor_.SetDeallocated(slot);
+  return true;
+}
+
+bool DataTable::HasActiveVersions(RawBlock *block) const {
+  const auto *version_column = reinterpret_cast<const std::atomic<UndoRecord *> *>(
+      reinterpret_cast<const byte *>(block) + GetLayout().VersionPtrOffset());
+  const uint32_t limit = block->insert_head.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < limit; i++) {
+    if (version_column[i].load(std::memory_order_acquire) != nullptr) return true;
+  }
+  return false;
+}
+
+RawBlock *DataTable::NewBlock() {
+  RawBlock *block = block_store_->Get();
+  MAINLINE_ASSERT(block != nullptr, "block store exhausted");
+  accessor_.InitializeRawBlock(this, block, version_);
+  common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
+  blocks_.push_back(block);
+  return block;
+}
+
+void DataTable::ReleaseBlock(RawBlock *block) {
+  {
+    common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
+    std::erase(blocks_, block);
+    // Never release the active insertion block.
+    MAINLINE_ASSERT(insertion_block_.load(std::memory_order_acquire) != block,
+                    "cannot release the insertion block");
+  }
+  delete block->arrow_metadata;
+  block_store_->Release(block);
+}
+
+}  // namespace mainline::storage

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/shared_latch.h"
+#include "common/typedefs.h"
+#include "storage/block_layout.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
+#include "storage/tuple_access_strategy.h"
+#include "storage/undo_record.h"
+
+namespace mainline::transaction {
+class TransactionContext;
+}
+
+namespace mainline::storage {
+
+/// The multi-versioned Data Table of Section 3: a collection of 1 MB PAX
+/// blocks in the relaxed Arrow format, with a delta-storage version chain per
+/// tuple kept in an invisible version-pointer column. Provides snapshot
+/// isolation reads and first-writer-wins writes; write-write conflicts are
+/// disallowed to avoid cascading rollbacks.
+///
+/// All methods are safe to call concurrently from many transactions. The
+/// block transformation pipeline (Section 4) coordinates with updaters via
+/// each block's BlockAccessController.
+class DataTable {
+ public:
+  /// \param store block pool to draw storage from
+  /// \param layout physical layout of this table's blocks
+  /// \param version layout version tag stamped on new blocks
+  DataTable(BlockStore *store, const BlockLayout &layout, layout_version_t version);
+
+  DISALLOW_COPY_AND_MOVE(DataTable)
+
+  ~DataTable();
+
+  /// Materialize the version of `slot` visible to `txn` into `out_buffer`
+  /// (early materialization, Section 3.1). The buffer's projection may cover
+  /// any subset of columns.
+  /// \return true if the tuple is visible to `txn`, false otherwise.
+  bool Select(transaction::TransactionContext *txn, TupleSlot slot,
+              ProjectedRow *out_buffer) const;
+
+  /// Update the attributes in `redo` in place, installing a before-image
+  /// delta on the version chain first.
+  /// \return true on success; false on a write-write conflict (the caller
+  /// must abort the transaction).
+  bool Update(transaction::TransactionContext *txn, TupleSlot slot, const ProjectedRow &redo);
+
+  /// Insert a new tuple.
+  /// \return the slot the tuple was placed in.
+  TupleSlot Insert(transaction::TransactionContext *txn, const ProjectedRow &redo);
+
+  /// Insert into a specific currently-empty slot. Used by the compactor to
+  /// fill gaps left by deletes; regular inserts only consume never-used slots.
+  /// \return true on success, false if the slot is occupied or contended.
+  bool InsertInto(transaction::TransactionContext *txn, TupleSlot dest, const ProjectedRow &redo);
+
+  /// Logically delete `slot`, recording a full-row before-image so the slot's
+  /// bytes can later be recycled while old readers still reconstruct it.
+  /// \return true on success; false on conflict (caller must abort).
+  bool Delete(transaction::TransactionContext *txn, TupleSlot slot);
+
+  /// Iterates every slot (allocated or not) in [0, insert_head) of every
+  /// block. Visibility is determined by Select.
+  class SlotIterator {
+   public:
+    TupleSlot operator*() const { return TupleSlot(blocks_[block_idx_], offset_); }
+
+    SlotIterator &operator++() {
+      offset_++;
+      AdvanceToValid();
+      return *this;
+    }
+
+    bool operator==(const SlotIterator &other) const {
+      return block_idx_ == other.block_idx_ && offset_ == other.offset_;
+    }
+
+    /// \return true if the iterator is exhausted.
+    bool Done() const { return block_idx_ >= blocks_.size(); }
+
+    /// \return the block the iterator is currently positioned in.
+    RawBlock *CurrentBlock() const { return blocks_[block_idx_]; }
+
+   private:
+    friend class DataTable;
+    SlotIterator(std::vector<RawBlock *> blocks, size_t block_idx, uint32_t offset)
+        : blocks_(std::move(blocks)), block_idx_(block_idx), offset_(offset) {
+      AdvanceToValid();
+    }
+
+    void AdvanceToValid() {
+      while (block_idx_ < blocks_.size() &&
+             offset_ >= blocks_[block_idx_]->insert_head.load(std::memory_order_acquire)) {
+        block_idx_++;
+        offset_ = 0;
+      }
+    }
+
+    std::vector<RawBlock *> blocks_;
+    size_t block_idx_;
+    uint32_t offset_;
+  };
+
+  /// \return iterator positioned at the first slot.
+  SlotIterator begin() const { return SlotIterator(Blocks(), 0, 0); }
+
+  const TupleAccessStrategy &Accessor() const { return accessor_; }
+  const BlockLayout &GetLayout() const { return accessor_.GetBlockLayout(); }
+  layout_version_t LayoutVersion() const { return version_; }
+  BlockStore *GetBlockStore() const { return block_store_; }
+
+  /// Initializer covering every column (used for delete before-images and
+  /// full-row materialization).
+  const ProjectedRowInitializer &FullRowInitializer() const { return full_row_initializer_; }
+
+  /// \return a snapshot of the table's blocks, in allocation order.
+  std::vector<RawBlock *> Blocks() const {
+    common::SharedLatch::ScopedSharedLatch guard(&blocks_latch_);
+    return blocks_;
+  }
+
+  /// \return number of blocks currently backing the table.
+  size_t NumBlocks() const {
+    common::SharedLatch::ScopedSharedLatch guard(&blocks_latch_);
+    return blocks_.size();
+  }
+
+  /// Detach an empty block from the table and return it to the block store.
+  /// Called by the compactor after it has emptied a block.
+  void ReleaseBlock(RawBlock *block);
+
+  /// \return number of allocated (logically present) slots in `block`.
+  uint32_t FilledSlots(RawBlock *block) const {
+    return accessor_.AllocationBitmap(block)->CountSet(GetLayout().NumSlots());
+  }
+
+  /// \return true if any slot in `block` has a non-null version chain.
+  bool HasActiveVersions(RawBlock *block) const;
+
+ private:
+  friend class transaction::TransactionContext;
+
+  RawBlock *NewBlock();
+
+  /// \return true if installing a new version on a chain headed by `head`
+  /// would be a write-write conflict for `txn`.
+  bool HasConflict(const transaction::TransactionContext &txn, UndoRecord *head) const;
+
+  /// Ensure the block is in the hot state before a write (preempts cooling,
+  /// waits out freezing, flips frozen and drains in-place readers).
+  void EnsureHot(RawBlock *block) const {
+    if (UNLIKELY(block->controller.GetState() != BlockState::kHot)) {
+      block->controller.WaitUntilHot();
+    }
+  }
+
+  /// Track newly-written varlen buffers so aborts can reclaim them.
+  void RegisterLooseVarlens(transaction::TransactionContext *txn,
+                            const ProjectedRow &redo) const;
+
+  /// Write all of `redo`'s attributes into `slot`.
+  void WriteValues(TupleSlot slot, const ProjectedRow &redo) const;
+
+  BlockStore *block_store_;
+  TupleAccessStrategy accessor_;
+  layout_version_t version_;
+  ProjectedRowInitializer full_row_initializer_;
+
+  mutable common::SharedLatch blocks_latch_;
+  std::vector<RawBlock *> blocks_;
+  std::atomic<RawBlock *> insertion_block_;
+};
+
+}  // namespace mainline::storage

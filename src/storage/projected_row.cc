@@ -1,0 +1,71 @@
+#include "storage/projected_row.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mainline::storage {
+
+ProjectedRow *ProjectedRow::CopyProjectedRowLayout(byte *head, const ProjectedRow &other) {
+  auto *result = reinterpret_cast<ProjectedRow *>(head);
+  // Copy the fixed header plus ids and offsets; values are left untouched.
+  const uint32_t header_size =
+      static_cast<uint32_t>(sizeof(ProjectedRow)) + AlignedIdsSize(other.num_cols_) +
+      4u * other.num_cols_;
+  std::memcpy(static_cast<void *>(result), static_cast<const void *>(&other), header_size);
+  // All columns start out null.
+  std::memset(result->Bitmap(), 0, (other.num_cols_ + 7) / 8);
+  return result;
+}
+
+ProjectedRowInitializer ProjectedRowInitializer::Create(const BlockLayout &layout,
+                                                        std::vector<col_id_t> col_ids) {
+  MAINLINE_ASSERT(!col_ids.empty(), "cannot project zero columns");
+  std::sort(col_ids.begin(), col_ids.end());
+  MAINLINE_ASSERT(std::adjacent_find(col_ids.begin(), col_ids.end()) == col_ids.end(),
+                  "duplicate column ids in projection");
+
+  ProjectedRowInitializer result;
+  result.col_ids_ = std::move(col_ids);
+  const auto num_cols = static_cast<uint16_t>(result.col_ids_.size());
+
+  // Header: size + num_cols + ids (padded to 4) + offsets + bitmap, then pad
+  // to 8 before values.
+  uint32_t offset = static_cast<uint32_t>(sizeof(ProjectedRow)) +
+                    ProjectedRow::AlignedIdsSize(num_cols) + 4u * num_cols +
+                    (num_cols + 7u) / 8u;
+  offset = (offset + 7u) & ~7u;
+
+  // Assign value offsets in descending attribute-size order so every value is
+  // naturally aligned without interior padding.
+  std::vector<uint16_t> order(num_cols);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint16_t a, uint16_t b) {
+    return layout.AttrSize(result.col_ids_[a]) > layout.AttrSize(result.col_ids_[b]);
+  });
+
+  result.offsets_.resize(num_cols);
+  for (const uint16_t idx : order) {
+    result.offsets_[idx] = offset;
+    offset += layout.AttrSize(result.col_ids_[idx]);
+  }
+  result.size_ = (offset + 7u) & ~7u;
+  return result;
+}
+
+ProjectedRowInitializer ProjectedRowInitializer::CreateFull(const BlockLayout &layout) {
+  return Create(layout, layout.AllColumnIds());
+}
+
+ProjectedRow *ProjectedRowInitializer::InitializeRow(byte *head) const {
+  MAINLINE_ASSERT(reinterpret_cast<uintptr_t>(head) % 8 == 0,
+                  "ProjectedRow buffers must be 8-byte aligned");
+  auto *result = reinterpret_cast<ProjectedRow *>(head);
+  result->size_ = size_;
+  result->num_cols_ = static_cast<uint16_t>(col_ids_.size());
+  std::memcpy(result->ColumnIds(), col_ids_.data(), col_ids_.size() * sizeof(col_id_t));
+  std::memcpy(result->ValueOffsets(), offsets_.data(), offsets_.size() * sizeof(uint32_t));
+  std::memset(result->Bitmap(), 0, (col_ids_.size() + 7) / 8);
+  return result;
+}
+
+}  // namespace mainline::storage

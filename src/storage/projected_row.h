@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+#include "storage/block_layout.h"
+
+namespace mainline::storage {
+
+/// A row-wise projection over a subset of a layout's columns: the unit of
+/// early materialization for Select, of deltas for Update, and of
+/// before-images in undo records (Section 3.1).
+///
+/// Memory layout (single contiguous allocation, externally provided):
+///
+///   [ size | num_cols | col_ids[] | value_offsets[] | null bitmap | values ]
+///
+/// Column ids are stored sorted ascending so that applying one projection
+/// onto another is a linear merge. The null bitmap uses Arrow semantics: a
+/// set bit means the value is present (non-null).
+///
+/// Never constructed directly — use ProjectedRowInitializer.
+class ProjectedRow {
+ public:
+  ProjectedRow() = delete;
+  DISALLOW_COPY_AND_MOVE(ProjectedRow)
+
+  /// \return total size in bytes of this projection.
+  uint32_t Size() const { return size_; }
+
+  /// \return number of columns in this projection.
+  uint16_t NumColumns() const { return num_cols_; }
+
+  /// \return array of column ids (sorted ascending).
+  col_id_t *ColumnIds() { return reinterpret_cast<col_id_t *>(varlen_contents_); }
+  const col_id_t *ColumnIds() const {
+    return reinterpret_cast<const col_id_t *>(varlen_contents_);
+  }
+
+  /// \return pointer to the value of the column at projection index `idx`,
+  /// marking it non-null.
+  byte *AccessForceNotNull(uint16_t idx) {
+    SetNotNull(idx);
+    return Value(idx);
+  }
+
+  /// \return pointer to the value, or nullptr if the value is null.
+  byte *AccessWithNullCheck(uint16_t idx) { return IsNull(idx) ? nullptr : Value(idx); }
+  const byte *AccessWithNullCheck(uint16_t idx) const {
+    return IsNull(idx) ? nullptr : Value(idx);
+  }
+
+  /// \return pointer to the value slot regardless of the null bit.
+  byte *AccessWithoutNullCheck(uint16_t idx) { return Value(idx); }
+  const byte *AccessWithoutNullCheck(uint16_t idx) const { return Value(idx); }
+
+  /// Mark the column at projection index `idx` null.
+  void SetNull(uint16_t idx) { Bitmap()[idx / 8] &= static_cast<uint8_t>(~(1u << (idx % 8))); }
+
+  /// Mark the column at projection index `idx` non-null.
+  void SetNotNull(uint16_t idx) { Bitmap()[idx / 8] |= static_cast<uint8_t>(1u << (idx % 8)); }
+
+  /// \return true if the column at projection index `idx` is null.
+  bool IsNull(uint16_t idx) const { return (Bitmap()[idx / 8] & (1u << (idx % 8))) == 0; }
+
+  /// Find the projection index of column `col` by binary search.
+  /// \return index, or -1 if the column is not part of this projection.
+  int32_t ProjectionIndex(col_id_t col) const {
+    const col_id_t *ids = ColumnIds();
+    int32_t lo = 0, hi = num_cols_ - 1;
+    while (lo <= hi) {
+      const int32_t mid = (lo + hi) / 2;
+      if (ids[mid] == col) return mid;
+      if (ids[mid] < col) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return -1;
+  }
+
+  /// Initialize `head` with the same shape (ids, offsets, size) as `other`,
+  /// with all columns initially null. Used to build undo records that mirror
+  /// an update's delta.
+  static ProjectedRow *CopyProjectedRowLayout(byte *head, const ProjectedRow &other);
+
+ private:
+  friend class ProjectedRowInitializer;
+
+  uint32_t *ValueOffsets() {
+    return reinterpret_cast<uint32_t *>(varlen_contents_ + AlignedIdsSize(num_cols_));
+  }
+  const uint32_t *ValueOffsets() const {
+    return reinterpret_cast<const uint32_t *>(varlen_contents_ + AlignedIdsSize(num_cols_));
+  }
+  uint8_t *Bitmap() {
+    return reinterpret_cast<uint8_t *>(varlen_contents_) + AlignedIdsSize(num_cols_) +
+           4 * num_cols_;
+  }
+  const uint8_t *Bitmap() const {
+    return reinterpret_cast<const uint8_t *>(varlen_contents_) + AlignedIdsSize(num_cols_) +
+           4 * num_cols_;
+  }
+  byte *Value(uint16_t idx) {
+    return reinterpret_cast<byte *>(this) + ValueOffsets()[idx];
+  }
+  const byte *Value(uint16_t idx) const {
+    return reinterpret_cast<const byte *>(this) + ValueOffsets()[idx];
+  }
+
+  static uint32_t AlignedIdsSize(uint16_t num_cols) {
+    return (static_cast<uint32_t>(num_cols) * 2 + 3u) & ~3u;  // pad ids to 4-byte boundary
+  }
+
+  uint32_t size_;
+  uint16_t num_cols_;
+  uint16_t padding_;  // keeps varlen_contents_ 4-byte aligned at offset 8
+  byte varlen_contents_[0];
+};
+
+static_assert(sizeof(ProjectedRow) == 8, "ProjectedRow header must be exactly 8 bytes");
+
+/// Precomputes the size and internal offsets of a ProjectedRow over a given
+/// set of columns, so rows can be stamped out with one memcpy-free pass.
+class ProjectedRowInitializer {
+ public:
+  /// Create an initializer for the given columns of `layout`. `col_ids` need
+  /// not be sorted; the projection sorts them.
+  static ProjectedRowInitializer Create(const BlockLayout &layout, std::vector<col_id_t> col_ids);
+
+  /// Create an initializer covering every column of `layout`.
+  static ProjectedRowInitializer CreateFull(const BlockLayout &layout);
+
+  /// \return bytes required for a ProjectedRow of this shape.
+  uint32_t ProjectedRowSize() const { return size_; }
+
+  /// \return number of columns in the projection.
+  uint16_t NumColumns() const { return static_cast<uint16_t>(col_ids_.size()); }
+
+  /// \return the (sorted) column ids of the projection.
+  const std::vector<col_id_t> &ColumnIds() const { return col_ids_; }
+
+  /// Write a ProjectedRow header into `head` (which must have
+  /// ProjectedRowSize() bytes available). All columns start out null.
+  /// \return the initialized row.
+  ProjectedRow *InitializeRow(byte *head) const;
+
+ private:
+  ProjectedRowInitializer() = default;
+
+  std::vector<col_id_t> col_ids_;
+  std::vector<uint32_t> offsets_;
+  uint32_t size_ = 0;
+};
+
+}  // namespace mainline::storage

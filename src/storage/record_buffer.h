@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/object_pool.h"
+#include "common/typedefs.h"
+#include "storage/storage_defs.h"
+
+namespace mainline::storage {
+
+/// A fixed-size (4096-byte) chunk of buffer memory. Undo and redo buffers are
+/// linked lists of these segments (Section 3.1): version chains point
+/// physically into them, so a naive realloc-style growth is impossible —
+/// instead, full buffers grow by chaining additional segments.
+class BufferSegment {
+ public:
+  /// \return true if `size` more bytes fit in this segment.
+  bool HasBytesLeft(uint32_t size) const { return size_ + size <= kBufferSegmentSize; }
+
+  /// Reserve `size` bytes (rounded up to an 8-byte multiple so records stay
+  /// aligned). Caller must have checked HasBytesLeft.
+  byte *Reserve(uint32_t size) {
+    MAINLINE_ASSERT(HasBytesLeft(size), "buffer segment overflow");
+    byte *result = bytes_ + size_;
+    size_ += (size + 7u) & ~7u;
+    return result;
+  }
+
+  /// Reset the segment for reuse.
+  void Reset() { size_ = 0; }
+
+ private:
+  alignas(8) byte bytes_[kBufferSegmentSize];
+  uint32_t size_ = 0;
+};
+
+/// Allocator for buffer segments, for use with common::ObjectPool.
+class BufferSegmentAllocator {
+ public:
+  BufferSegment *New() {
+    auto *result = new BufferSegment;
+    result->Reset();
+    return result;
+  }
+  void Reuse(BufferSegment *segment) { segment->Reset(); }
+  void Delete(BufferSegment *segment) { delete segment; }
+};
+
+/// Global pool of buffer segments shared by all transactions.
+using RecordBufferSegmentPool = common::ObjectPool<BufferSegment, BufferSegmentAllocator>;
+
+/// An append-only arena of chained buffer segments. Returned entry pointers
+/// remain valid for the buffer's lifetime (segments are never moved).
+class RecordBuffer {
+ public:
+  explicit RecordBuffer(RecordBufferSegmentPool *pool) : pool_(pool) {}
+  DISALLOW_COPY_AND_MOVE(RecordBuffer)
+
+  ~RecordBuffer() { Release(); }
+
+  /// Reserve space for a new entry of `size` bytes (must fit in one segment).
+  byte *NewEntry(uint32_t size) {
+    MAINLINE_ASSERT(size <= kBufferSegmentSize, "record larger than a buffer segment");
+    if (segments_.empty() || !segments_.back()->HasBytesLeft(size)) {
+      segments_.push_back(pool_->Get());
+    }
+    return segments_.back()->Reserve(size);
+  }
+
+  /// \return true if no entries were ever reserved.
+  bool Empty() const { return segments_.empty(); }
+
+  /// Return all segments to the pool.
+  void Release() {
+    for (BufferSegment *segment : segments_) pool_->Release(segment);
+    segments_.clear();
+  }
+
+ private:
+  RecordBufferSegmentPool *pool_;
+  std::vector<BufferSegment *> segments_;
+};
+
+}  // namespace mainline::storage

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+
+namespace mainline::storage {
+
+struct RawBlock;
+class DataTable;
+
+/// Size of a storage block. Blocks are allocated aligned at this boundary so
+/// that a pointer into a block can be decomposed into (block, offset) — the
+/// physiological addressing scheme of Section 3.2.
+constexpr uint32_t kBlockSize = 1u << 20;  // 1 MB
+
+/// Size of an undo/redo buffer segment (Section 3.1: undo buffers are linked
+/// lists of fixed-size segments so that physical pointers into them remain
+/// valid as the buffer grows).
+constexpr uint32_t kBufferSegmentSize = 1u << 12;  // 4096 bytes
+
+/// Number of bits used for the in-block offset in a TupleSlot. With 1 MB
+/// blocks there can never be more tuples than bytes in a block, so 20 bits
+/// suffice (Figure 5).
+constexpr uint32_t kBlockOffsetBits = 20;
+static_assert((uint32_t{1} << kBlockOffsetBits) == kBlockSize);
+
+/// The kind of modification recorded by an undo (delta) record.
+enum class DeltaType : uint8_t {
+  /// Before-image of the updated attributes.
+  kUpdate = 0,
+  /// Marks that the tuple did not exist before this transaction.
+  kInsert,
+  /// Full before-image of the tuple; the slot's allocation bit was cleared.
+  kDelete,
+};
+
+/// Globally unique physiological tuple identifier: the physical address of
+/// the 1 MB-aligned block in the upper 44 bits and the logical slot offset in
+/// the lower 20 bits (Figure 5). Fits in one 64-bit word.
+class TupleSlot {
+ public:
+  TupleSlot() = default;
+
+  /// \param block block the tuple lives in (must be 1 MB aligned)
+  /// \param offset logical slot number within the block
+  TupleSlot(const RawBlock *block, uint32_t offset)
+      : bytes_(reinterpret_cast<uintptr_t>(block) | offset) {
+    MAINLINE_ASSERT((reinterpret_cast<uintptr_t>(block) & (kBlockSize - 1)) == 0,
+                    "blocks must be aligned at 1 MB boundaries");
+    MAINLINE_ASSERT(offset < kBlockSize, "offset must fit in the lower 20 bits");
+  }
+
+  /// \return the block this slot belongs to.
+  RawBlock *GetBlock() const {
+    return reinterpret_cast<RawBlock *>(bytes_ & ~static_cast<uintptr_t>(kBlockSize - 1));
+  }
+
+  /// \return the logical slot offset within the block.
+  uint32_t GetOffset() const { return static_cast<uint32_t>(bytes_ & (kBlockSize - 1)); }
+
+  bool operator==(const TupleSlot &other) const = default;
+  auto operator<=>(const TupleSlot &other) const = default;
+
+  /// \return the raw 64-bit representation (used by the log serializer).
+  uintptr_t RawBytes() const { return bytes_; }
+
+  /// Rebuild a slot from its raw 64-bit representation.
+  static TupleSlot FromRawBytes(uintptr_t bytes) {
+    TupleSlot s;
+    s.bytes_ = bytes;
+    return s;
+  }
+
+ private:
+  uintptr_t bytes_ = 0;
+};
+
+}  // namespace mainline::storage
+
+namespace std {
+template <>
+struct hash<mainline::storage::TupleSlot> {
+  size_t operator()(const mainline::storage::TupleSlot &slot) const {
+    return hash<uintptr_t>()(slot.RawBytes());
+  }
+};
+}  // namespace std

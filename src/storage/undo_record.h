@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/typedefs.h"
+#include "storage/projected_row.h"
+#include "storage/storage_defs.h"
+
+namespace mainline::storage {
+
+/// A version-chain delta record (Section 3.1): the physical before-image of
+/// the modified attributes, plus chain metadata. Lives inside a transaction's
+/// undo buffer; the version-pointer column points at these.
+///
+/// - kUpdate records carry a before-image of exactly the updated columns.
+/// - kDelete records carry a full before-image of the tuple (needed because
+///   the compactor may recycle the slot's bytes while old readers still
+///   reconstruct the deleted tuple).
+/// - kInsert records carry no data; their before-image is "did not exist".
+class UndoRecord {
+ public:
+  UndoRecord() = delete;
+  DISALLOW_COPY_AND_MOVE(UndoRecord)
+
+  DeltaType Type() const { return type_; }
+
+  /// Commit timestamp of this version, or the owning transaction's id (with
+  /// the uncommitted bit) until it commits.
+  std::atomic<transaction::timestamp_t> &Timestamp() { return timestamp_; }
+  const std::atomic<transaction::timestamp_t> &Timestamp() const { return timestamp_; }
+
+  /// Table the modified tuple belongs to. A null table marks a record that
+  /// was never installed (its CAS lost a race) and must be skipped by
+  /// rollback and GC.
+  DataTable *Table() const { return table_; }
+  void SetTableNull() { table_ = nullptr; }
+
+  TupleSlot Slot() const { return slot_; }
+
+  /// Next (older) record in the version chain.
+  std::atomic<UndoRecord *> &Next() { return next_; }
+  const std::atomic<UndoRecord *> &Next() const { return next_; }
+
+  /// The before-image payload. Only valid for kUpdate and kDelete records.
+  ProjectedRow *Delta() {
+    MAINLINE_ASSERT(type_ != DeltaType::kInsert, "insert undo records carry no before-image");
+    return reinterpret_cast<ProjectedRow *>(varlen_contents_);
+  }
+  const ProjectedRow *Delta() const {
+    return reinterpret_cast<const ProjectedRow *>(varlen_contents_);
+  }
+
+  /// \return total size of this record in bytes.
+  uint32_t Size() const { return size_; }
+
+  static uint32_t SizeForUpdate(const ProjectedRow &delta) {
+    return static_cast<uint32_t>(sizeof(UndoRecord)) + delta.Size();
+  }
+  static uint32_t SizeForInsert() { return static_cast<uint32_t>(sizeof(UndoRecord)); }
+  static uint32_t SizeForDelete(const ProjectedRowInitializer &full_row) {
+    return static_cast<uint32_t>(sizeof(UndoRecord)) + full_row.ProjectedRowSize();
+  }
+
+  /// Initialize an update record whose before-image has the same shape as the
+  /// update's delta. Values are populated by the data table afterwards.
+  static UndoRecord *InitializeUpdate(byte *head, transaction::timestamp_t ts, TupleSlot slot,
+                                      DataTable *table, const ProjectedRow &delta_shape) {
+    auto *result = InitializeHeader(head, DeltaType::kUpdate, ts, slot, table,
+                                    SizeForUpdate(delta_shape));
+    ProjectedRow::CopyProjectedRowLayout(result->varlen_contents_, delta_shape);
+    return result;
+  }
+
+  static UndoRecord *InitializeInsert(byte *head, transaction::timestamp_t ts, TupleSlot slot,
+                                      DataTable *table) {
+    return InitializeHeader(head, DeltaType::kInsert, ts, slot, table, SizeForInsert());
+  }
+
+  static UndoRecord *InitializeDelete(byte *head, transaction::timestamp_t ts, TupleSlot slot,
+                                      DataTable *table, const ProjectedRowInitializer &full_row) {
+    auto *result = InitializeHeader(head, DeltaType::kDelete, ts, slot, table,
+                                    SizeForDelete(full_row));
+    full_row.InitializeRow(result->varlen_contents_);
+    return result;
+  }
+
+ private:
+  static UndoRecord *InitializeHeader(byte *head, DeltaType type, transaction::timestamp_t ts,
+                                      TupleSlot slot, DataTable *table, uint32_t size) {
+    auto *result = reinterpret_cast<UndoRecord *>(head);
+    result->type_ = type;
+    result->timestamp_.store(ts, std::memory_order_relaxed);
+    result->table_ = table;
+    result->slot_ = slot;
+    result->next_.store(nullptr, std::memory_order_relaxed);
+    result->size_ = size;
+    return result;
+  }
+
+  std::atomic<transaction::timestamp_t> timestamp_;
+  DataTable *table_;
+  TupleSlot slot_;
+  std::atomic<UndoRecord *> next_;
+  uint32_t size_;
+  DeltaType type_;
+  uint8_t padding_[3];  // keeps varlen_contents_ 8-byte aligned
+  byte varlen_contents_[0];
+};
+
+static_assert(sizeof(UndoRecord) % 8 == 0, "UndoRecord payload must stay 8-byte aligned");
+
+}  // namespace mainline::storage

@@ -1,0 +1,153 @@
+#include "transaction/transaction_manager.h"
+
+#include "logging/log_manager.h"
+#include "storage/data_table.h"
+#include "storage/storage_util.h"
+
+namespace mainline::transaction {
+
+TransactionManager::~TransactionManager() {
+  for (TransactionContext *txn : completed_txns_) {
+    // Aborted transactions' before-images still back live block data after
+    // rollback; only committed ones own their old varlen values.
+    if (!txn->Aborted()) {
+      for (storage::UndoRecord *undo : txn->UndoRecords()) {
+        storage::DataTable *table = undo->Table();
+        if (table == nullptr || undo->Type() == storage::DeltaType::kInsert) continue;
+        storage::StorageUtil::DeallocateVarlensInDelta(table->GetLayout(), *undo->Delta());
+      }
+    }
+    delete txn;
+  }
+}
+
+TransactionContext *TransactionManager::BeginTransaction() {
+  timestamp_t start;
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&curr_running_latch_);
+    start = time_++;
+    curr_running_.insert(start);
+  }
+  auto *txn = new TransactionContext(start, start | kUncommittedMask, buffer_pool_);
+  txn->logging_enabled_ = log_manager_ != nullptr;
+  return txn;
+}
+
+timestamp_t TransactionManager::Commit(TransactionContext *txn,
+                                       logging::CommitRecord::DurabilityCallback callback,
+                                       void *callback_arg) {
+  MAINLINE_ASSERT(!txn->aborted_, "cannot commit an aborted transaction");
+  timestamp_t commit_time;
+  {
+    // The small commit critical section of Section 3.1: obtain the commit
+    // timestamp and stamp the delta records.
+    common::SpinLatch::ScopedSpinLatch guard(&commit_latch_);
+    commit_time = time_++;
+    for (storage::UndoRecord *undo : txn->UndoRecords()) {
+      undo->Timestamp().store(commit_time, std::memory_order_release);
+    }
+  }
+  txn->finish_time_.store(commit_time, std::memory_order_release);
+  txn->loose_varlens_.clear();  // committed values now owned by block storage
+
+  if (log_manager_ != nullptr) {
+    LogCommit(txn, commit_time, callback, callback_arg);
+  } else if (callback != nullptr) {
+    callback(callback_arg);
+  }
+
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&curr_running_latch_);
+    curr_running_.erase(curr_running_.find(txn->StartTime()));
+  }
+  // With logging, the log manager forwards the transaction to the GC queue
+  // only after its records are serialized, so the GC can never reclaim
+  // varlen buffers the serializer still references.
+  if (log_manager_ == nullptr) TransactionFinished(txn);
+  return commit_time;
+}
+
+void TransactionManager::LogCommit(TransactionContext *txn, timestamp_t commit_time,
+                                   logging::CommitRecord::DurabilityCallback callback,
+                                   void *callback_arg) {
+  byte *head = txn->ReserveCommitRecord();
+  logging::LogRecord *record = logging::CommitRecord::Initialize(
+      head, txn->StartTime(), commit_time, txn->IsReadOnly(), callback, callback_arg, txn);
+  txn->redo_records_.push_back(record);
+  log_manager_->AddTransaction(txn);
+}
+
+timestamp_t TransactionManager::Abort(TransactionContext *txn) {
+  Rollback(txn);
+  // Stamp the undo records with a fresh, committed-looking timestamp
+  // (Section 3.1): readers that copied the aborted version repair it by
+  // applying the restored before-image; the records are never unlinked here,
+  // which avoids the A-B-A race.
+  const timestamp_t abort_time = time_++;
+  for (storage::UndoRecord *undo : txn->UndoRecords()) {
+    if (undo->Table() == nullptr) continue;
+    undo->Timestamp().store(abort_time, std::memory_order_release);
+  }
+  // New varlen values written by this transaction were orphaned by the
+  // rollback; uncommitted values are never visible, so free them now.
+  for (const byte *varlen : txn->loose_varlens_) delete[] varlen;
+  txn->loose_varlens_.clear();
+  txn->aborted_ = true;
+  txn->finish_time_.store(abort_time, std::memory_order_release);
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&curr_running_latch_);
+    curr_running_.erase(curr_running_.find(txn->StartTime()));
+  }
+  TransactionFinished(txn);
+  return abort_time;
+}
+
+void TransactionManager::Rollback(TransactionContext *txn) {
+  // Restore before-images newest-first so repeated writes to one tuple
+  // unwind correctly.
+  auto &undos = txn->UndoRecords();
+  for (auto it = undos.rbegin(); it != undos.rend(); ++it) {
+    storage::UndoRecord *undo = *it;
+    storage::DataTable *table = undo->Table();
+    if (table == nullptr) continue;  // never installed
+    const storage::TupleAccessStrategy &accessor = table->Accessor();
+    switch (undo->Type()) {
+      case storage::DeltaType::kUpdate:
+        for (uint16_t i = 0; i < undo->Delta()->NumColumns(); i++) {
+          storage::StorageUtil::CopyAttrFromProjection(accessor, undo->Slot(), *undo->Delta(),
+                                                       i);
+        }
+        break;
+      case storage::DeltaType::kInsert:
+        accessor.SetDeallocated(undo->Slot());
+        break;
+      case storage::DeltaType::kDelete:
+        accessor.SetAllocated(undo->Slot());
+        break;
+    }
+  }
+}
+
+void TransactionManager::TransactionFinished(TransactionContext *txn) {
+  common::SpinLatch::ScopedSpinLatch guard(&completed_latch_);
+  completed_txns_.push_back(txn);
+}
+
+timestamp_t TransactionManager::OldestTransactionStartTime() {
+  common::SpinLatch::ScopedSpinLatch guard(&curr_running_latch_);
+  return curr_running_.empty() ? time_.load(std::memory_order_acquire) : *curr_running_.begin();
+}
+
+uint64_t TransactionManager::NumActiveTransactions() {
+  common::SpinLatch::ScopedSpinLatch guard(&curr_running_latch_);
+  return curr_running_.size();
+}
+
+std::vector<TransactionContext *> TransactionManager::CompletedTransactionsForGC() {
+  common::SpinLatch::ScopedSpinLatch guard(&completed_latch_);
+  std::vector<TransactionContext *> result;
+  result.swap(completed_txns_);
+  return result;
+}
+
+}  // namespace mainline::transaction

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/typedefs.h"
+#include "storage/record_buffer.h"
+#include "transaction/transaction_context.h"
+
+namespace mainline::logging {
+class LogManager;
+}
+
+namespace mainline::transaction {
+
+/// Creates, commits, and aborts transactions (Section 3.1).
+///
+/// Start and commit timestamps are drawn from one global counter. A
+/// transaction's id is its start timestamp with the sign bit flipped, marking
+/// its versions uncommitted: because all timestamp comparisons are unsigned,
+/// those versions are never visible to any reader. Commit executes a small
+/// critical section that obtains the commit timestamp and stamps the
+/// transaction's delta records. Write-write conflicts are disallowed (no
+/// cascading rollbacks).
+class TransactionManager {
+ public:
+  /// \param buffer_pool pool for undo/redo buffer segments
+  /// \param gc_enabled if false, finished transactions are destroyed eagerly
+  ///        instead of queued for the garbage collector (single-threaded use)
+  /// \param log_manager write-ahead log sink, or nullptr to run without
+  ///        durability
+  TransactionManager(storage::RecordBufferSegmentPool *buffer_pool, bool gc_enabled,
+                     logging::LogManager *log_manager)
+      : buffer_pool_(buffer_pool), gc_enabled_(gc_enabled), log_manager_(log_manager) {}
+
+  DISALLOW_COPY_AND_MOVE(TransactionManager)
+
+  /// Destroys any finished transactions the GC did not reclaim. Tables must
+  /// still be alive (their layouts are needed to free varlen before-images).
+  ~TransactionManager();
+
+  /// Begin a new transaction.
+  /// \return the new transaction's context; ownership passes to the GC (or to
+  /// this manager if GC is disabled) once the transaction finishes.
+  TransactionContext *BeginTransaction();
+
+  /// Commit `txn`. If logging is enabled, `callback(arg)` fires once the
+  /// commit record is persistent; otherwise it fires before returning.
+  /// Read-only transactions also obtain a commit record (Section 3.4) but the
+  /// log manager elides writing it to disk.
+  /// \return the commit timestamp.
+  timestamp_t Commit(TransactionContext *txn,
+                     logging::CommitRecord::DurabilityCallback callback = nullptr,
+                     void *callback_arg = nullptr);
+
+  /// Abort `txn`: roll back its in-place changes in reverse order, then
+  /// "commit" its undo records at a fresh timestamp by flipping the sign bit
+  /// (Section 3.1's A-B-A-safe protocol — records are never unlinked here).
+  /// \return the abort timestamp.
+  timestamp_t Abort(TransactionContext *txn);
+
+  /// \return begin timestamp of the oldest active transaction, or the current
+  /// time if none are active. Everything committed strictly before this is
+  /// invisible to all current and future transactions.
+  timestamp_t OldestTransactionStartTime();
+
+  /// \return a fresh timestamp (used by the GC to stamp unlink epochs).
+  timestamp_t CheckoutTimestamp() { return time_++; }
+
+  /// \return the current value of the global counter without advancing it.
+  timestamp_t CurrentTime() const { return time_.load(std::memory_order_acquire); }
+
+  /// Swap out the queue of finished transactions for GC processing.
+  std::vector<TransactionContext *> CompletedTransactionsForGC();
+
+  /// \return number of active transactions (diagnostics).
+  uint64_t NumActiveTransactions();
+
+  storage::RecordBufferSegmentPool *BufferPool() { return buffer_pool_; }
+
+ private:
+  friend class logging::LogManager;
+
+  void LogCommit(TransactionContext *txn, timestamp_t commit_time,
+                 logging::CommitRecord::DurabilityCallback callback, void *callback_arg);
+  void Rollback(TransactionContext *txn);
+  void TransactionFinished(TransactionContext *txn);
+
+  std::atomic<timestamp_t> time_{kInitialTimestamp + 1};
+  common::SpinLatch curr_running_latch_;
+  std::multiset<timestamp_t> curr_running_;
+  common::SpinLatch commit_latch_;
+  common::SpinLatch completed_latch_;
+  std::vector<TransactionContext *> completed_txns_;
+
+  storage::RecordBufferSegmentPool *buffer_pool_;
+  bool gc_enabled_;
+  logging::LogManager *log_manager_;
+};
+
+}  // namespace mainline::transaction

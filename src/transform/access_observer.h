@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "storage/raw_block.h"
+
+namespace mainline::transform {
+
+/// Tracks block access statistics without touching the transaction critical
+/// path (Section 4.2). The garbage collector, which already scans every
+/// transaction's undo records, reports each modified block here; the
+/// observer approximates the modification time with the GC invocation epoch
+/// ("GC epoch"). Blocks that have not been modified for
+/// `cold_threshold_epochs` GC epochs are emitted as cold candidates for the
+/// transformation queue.
+class AccessObserver {
+ public:
+  /// \param cold_threshold_epochs number of GC epochs without modification
+  ///        after which a block is considered cold
+  explicit AccessObserver(uint64_t cold_threshold_epochs)
+      : cold_threshold_(cold_threshold_epochs) {}
+
+  DISALLOW_COPY_AND_MOVE(AccessObserver)
+
+  /// Called by the GC at the start of each run.
+  void NewEpoch() { epoch_++; }
+
+  /// Called by the GC for every block touched by a transaction it processed.
+  void ObserveWrite(storage::RawBlock *block) {
+    block->last_touched_epoch.store(epoch_, std::memory_order_relaxed);
+    common::SpinLatch::ScopedSpinLatch guard(&latch_);
+    watched_[block] = block->data_table;
+  }
+
+  /// Stop tracking a block (e.g. because the compactor released it).
+  void ForgetBlock(storage::RawBlock *block) {
+    common::SpinLatch::ScopedSpinLatch guard(&latch_);
+    watched_.erase(block);
+  }
+
+  /// Collect blocks whose last modification is at least the cold threshold
+  /// behind the current epoch. Collected blocks leave the watch set (they
+  /// re-enter when modified again). The pair's second element is the owning
+  /// table observed at write time; the caller must validate that the block
+  /// still belongs to it.
+  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> CollectColdBlocks() {
+    std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> result;
+    common::SpinLatch::ScopedSpinLatch guard(&latch_);
+    for (auto it = watched_.begin(); it != watched_.end();) {
+      storage::RawBlock *block = it->first;
+      const uint64_t last = block->last_touched_epoch.load(std::memory_order_relaxed);
+      if (epoch_ >= last + cold_threshold_) {
+        result.emplace_back(block, it->second);
+        it = watched_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return result;
+  }
+
+  /// \return the current GC epoch.
+  uint64_t Epoch() const { return epoch_; }
+
+  /// \return number of blocks currently watched.
+  size_t WatchedBlocks() {
+    common::SpinLatch::ScopedSpinLatch guard(&latch_);
+    return watched_.size();
+  }
+
+ private:
+  const uint64_t cold_threshold_;
+  uint64_t epoch_ = 0;
+  common::SpinLatch latch_;
+  std::unordered_map<storage::RawBlock *, storage::DataTable *> watched_;
+};
+
+}  // namespace mainline::transform

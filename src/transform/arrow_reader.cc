@@ -1,0 +1,227 @@
+#include "transform/arrow_reader.h"
+
+#include "arrowlite/builder.h"
+#include "common/raw_bitmap.h"
+#include "storage/arrow_block_metadata.h"
+#include "storage/varlen_entry.h"
+
+namespace mainline::transform {
+
+arrowlite::Type ArrowReader::ToArrowType(catalog::TypeId type, bool dictionary) {
+  switch (type) {
+    case catalog::TypeId::kBoolean:
+      return arrowlite::Type::kBool;
+    case catalog::TypeId::kTinyInt:
+      return arrowlite::Type::kInt8;
+    case catalog::TypeId::kSmallInt:
+      return arrowlite::Type::kInt16;
+    case catalog::TypeId::kInteger:
+      return arrowlite::Type::kInt32;
+    case catalog::TypeId::kBigInt:
+      return arrowlite::Type::kInt64;
+    case catalog::TypeId::kDecimal:
+      return arrowlite::Type::kFloat64;
+    case catalog::TypeId::kDate:
+      return arrowlite::Type::kUInt32;
+    case catalog::TypeId::kTimestamp:
+      return arrowlite::Type::kUInt64;
+    case catalog::TypeId::kVarchar:
+      return dictionary ? arrowlite::Type::kDictionary : arrowlite::Type::kString;
+  }
+  MAINLINE_UNREACHABLE("unknown type");
+}
+
+std::shared_ptr<arrowlite::Schema> ArrowReader::ToArrowSchema(const catalog::Schema &schema,
+                                                              bool dictionary) {
+  std::vector<arrowlite::Field> fields;
+  fields.reserve(schema.NumColumns());
+  for (const catalog::Column &col : schema.Columns()) {
+    fields.emplace_back(col.Name(), ToArrowType(col.Type(), dictionary), col.Nullable());
+  }
+  return std::make_shared<arrowlite::Schema>(std::move(fields));
+}
+
+std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
+    const catalog::Schema &schema, const storage::DataTable &table, storage::RawBlock *block) {
+  const storage::ArrowBlockMetadata *metadata = block->arrow_metadata;
+  if (metadata == nullptr) return nullptr;
+  const storage::BlockLayout &layout = table.GetLayout();
+  const storage::TupleAccessStrategy &accessor = table.Accessor();
+  const uint32_t n = metadata->NumRecords();
+
+  bool any_dictionary = false;
+  std::vector<std::shared_ptr<arrowlite::Array>> columns;
+  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+    const storage::col_id_t col(i);
+    const storage::ArrowColumnInfo &info = metadata->Column(i);
+    // Validity bitmap: viewed directly from block storage.
+    auto validity = arrowlite::Buffer::Wrap(
+        reinterpret_cast<const byte *>(accessor.ColumnNullBitmap(block, col)->Bytes()),
+        common::BitmapSize(n));
+    switch (info.type) {
+      case storage::ArrowColumnType::kFixed: {
+        auto values = arrowlite::Buffer::Wrap(
+            accessor.ColumnStart(block, col),
+            static_cast<uint64_t>(layout.AttrSize(col)) * n);
+        columns.push_back(arrowlite::Array::MakeFixed(
+            ToArrowType(schema.GetColumn(i).Type()), n, std::move(values),
+            std::move(validity), info.null_count));
+        break;
+      }
+      case storage::ArrowColumnType::kGatheredVarlen: {
+        auto offsets = arrowlite::Buffer::Wrap(
+            reinterpret_cast<const byte *>(info.varlen.offsets.get()),
+            sizeof(int32_t) * (n + 1));
+        auto values = arrowlite::Buffer::Wrap(info.varlen.values.get(),
+                                              info.varlen.values_size);
+        columns.push_back(arrowlite::Array::MakeString(n, std::move(offsets),
+                                                       std::move(values), std::move(validity),
+                                                       info.null_count));
+        break;
+      }
+      case storage::ArrowColumnType::kDictionaryCompressed: {
+        any_dictionary = true;
+        auto dict_offsets = arrowlite::Buffer::Wrap(
+            reinterpret_cast<const byte *>(info.dictionary.offsets.get()),
+            sizeof(int32_t) * (info.dictionary_size + 1));
+        auto dict_values = arrowlite::Buffer::Wrap(info.dictionary.values.get(),
+                                                   info.dictionary.values_size);
+        auto dictionary = arrowlite::Array::MakeString(
+            info.dictionary_size, std::move(dict_offsets), std::move(dict_values));
+        auto indices = arrowlite::Buffer::Wrap(
+            reinterpret_cast<const byte *>(info.indices.get()), sizeof(int32_t) * n);
+        columns.push_back(arrowlite::Array::MakeDictionary(n, std::move(indices),
+                                                           std::move(dictionary),
+                                                           std::move(validity),
+                                                           info.null_count));
+        break;
+      }
+    }
+  }
+  return std::make_shared<arrowlite::RecordBatch>(ToArrowSchema(schema, any_dictionary), n,
+                                                  std::move(columns));
+}
+
+namespace {
+
+template <typename T>
+void AppendFixed(arrowlite::FixedBuilder<T> *builder, const byte *value) {
+  if (value == nullptr) {
+    builder->AppendNull();
+  } else {
+    builder->Append(*reinterpret_cast<const T *>(value));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
+    const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
+    transaction::TransactionContext *txn) {
+  const storage::BlockLayout &layout = table->GetLayout();
+  const storage::ProjectedRowInitializer &initializer = table->FullRowInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  // One builder per column, dispatched by width.
+  std::vector<std::unique_ptr<arrowlite::FixedBuilder<uint8_t>>> b1;
+  std::vector<std::unique_ptr<arrowlite::FixedBuilder<uint16_t>>> b2;
+  std::vector<std::unique_ptr<arrowlite::FixedBuilder<uint32_t>>> b4;
+  std::vector<std::unique_ptr<arrowlite::FixedBuilder<uint64_t>>> b8;
+  std::vector<std::unique_ptr<arrowlite::StringBuilder>> bs;
+  struct Dispatch {
+    int kind;
+    size_t idx;
+  };
+  std::vector<Dispatch> dispatch;
+  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+    const catalog::Column &col = schema.GetColumn(i);
+    if (col.IsVarlen()) {
+      dispatch.push_back({4, bs.size()});
+      bs.push_back(std::make_unique<arrowlite::StringBuilder>());
+      continue;
+    }
+    // Fixed values are moved with unsigned carriers of matching width; the
+    // logical Arrow type tags the resulting array.
+    const arrowlite::Type arrow_type = ToArrowType(col.Type());
+    switch (col.AttrSize()) {
+      case 1:
+        dispatch.push_back({0, b1.size()});
+        b1.push_back(std::make_unique<arrowlite::FixedBuilder<uint8_t>>(arrow_type));
+        break;
+      case 2:
+        dispatch.push_back({1, b2.size()});
+        b2.push_back(std::make_unique<arrowlite::FixedBuilder<uint16_t>>(arrow_type));
+        break;
+      case 4:
+        dispatch.push_back({2, b4.size()});
+        b4.push_back(std::make_unique<arrowlite::FixedBuilder<uint32_t>>(arrow_type));
+        break;
+      default:
+        dispatch.push_back({3, b8.size()});
+        b8.push_back(std::make_unique<arrowlite::FixedBuilder<uint64_t>>(arrow_type));
+        break;
+    }
+  }
+
+  const uint32_t limit = block->insert_head.load(std::memory_order_acquire);
+  int64_t rows = 0;
+  for (uint32_t offset = 0; offset < limit; offset++) {
+    const storage::TupleSlot slot(block, offset);
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    if (!table->Select(txn, slot, row)) continue;
+    rows++;
+    for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+      const byte *value = row->AccessWithNullCheck(i);
+      const Dispatch d = dispatch[i];
+      switch (d.kind) {
+        case 0:
+          AppendFixed(b1[d.idx].get(), value);
+          break;
+        case 1:
+          AppendFixed(b2[d.idx].get(), value);
+          break;
+        case 2:
+          AppendFixed(b4[d.idx].get(), value);
+          break;
+        case 3:
+          AppendFixed(b8[d.idx].get(), value);
+          break;
+        case 4:
+          if (value == nullptr) {
+            bs[d.idx]->AppendNull();
+          } else {
+            bs[d.idx]->Append(
+                reinterpret_cast<const storage::VarlenEntry *>(value)->StringView());
+          }
+          break;
+      }
+    }
+  }
+  (void)layout;
+
+  std::vector<std::shared_ptr<arrowlite::Array>> columns;
+  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+    const Dispatch d = dispatch[i];
+    switch (d.kind) {
+      case 0:
+        columns.push_back(b1[d.idx]->Finish());
+        break;
+      case 1:
+        columns.push_back(b2[d.idx]->Finish());
+        break;
+      case 2:
+        columns.push_back(b4[d.idx]->Finish());
+        break;
+      case 3:
+        columns.push_back(b8[d.idx]->Finish());
+        break;
+      case 4:
+        columns.push_back(bs[d.idx]->Finish());
+        break;
+    }
+  }
+  return std::make_shared<arrowlite::RecordBatch>(ToArrowSchema(schema), rows,
+                                                  std::move(columns));
+}
+
+}  // namespace mainline::transform

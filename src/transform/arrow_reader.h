@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "arrowlite/array.h"
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "storage/data_table.h"
+#include "transaction/transaction_context.h"
+
+namespace mainline::transform {
+
+/// Bridges frozen blocks and the arrowlite columnar API (Section 5): a
+/// frozen block *is* Arrow data, so a RecordBatch over it is just metadata
+/// wrapping the block's buffers — no copies, no serialization.
+class ArrowReader {
+ public:
+  ArrowReader() = delete;
+
+  /// Map a catalog type to its Arrow physical type.
+  static arrowlite::Type ToArrowType(catalog::TypeId type, bool dictionary = false);
+
+  /// Derive the Arrow schema of a table.
+  static std::shared_ptr<arrowlite::Schema> ToArrowSchema(const catalog::Schema &schema,
+                                                          bool dictionary = false);
+
+  /// Build a zero-copy RecordBatch over a frozen block. The caller must hold
+  /// the block's read lock (BlockAccessController::TryAcquireRead) for the
+  /// lifetime of the batch.
+  /// \return the batch, or nullptr if the block carries no Arrow metadata.
+  static std::shared_ptr<arrowlite::RecordBatch> FromFrozenBlock(
+      const catalog::Schema &schema, const storage::DataTable &table,
+      storage::RawBlock *block);
+
+  /// Materialize a transactional snapshot of a (typically hot) block into a
+  /// freshly built RecordBatch, resolving versions through `txn`. This is the
+  /// expensive path Arrow-native storage avoids for cold data, and also the
+  /// "Snapshot" baseline of Figure 12.
+  static std::shared_ptr<arrowlite::RecordBatch> MaterializeBlock(
+      const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
+      transaction::TransactionContext *txn);
+};
+
+}  // namespace mainline::transform

@@ -1,0 +1,45 @@
+#include "transform/baselines.h"
+
+#include <vector>
+
+#include "storage/projected_row.h"
+#include "storage/varlen_entry.h"
+
+namespace mainline::transform {
+
+uint64_t InPlaceTransform(transaction::TransactionManager *txn_manager,
+                          storage::DataTable *table, storage::RawBlock *block) {
+  transaction::TransactionContext *txn = txn_manager->BeginTransaction();
+  const storage::ProjectedRowInitializer &initializer = table->FullRowInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  const storage::BlockLayout &layout = table->GetLayout();
+
+  uint64_t processed = 0;
+  const uint32_t limit = block->insert_head.load(std::memory_order_acquire);
+  for (uint32_t offset = 0; offset < limit; offset++) {
+    const storage::TupleSlot slot(block, offset);
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    if (!table->Select(txn, slot, row)) continue;
+    // Rewriting a tuple in place transactionally: varlen values must be
+    // re-allocated because the update's before-image takes ownership of the
+    // old buffers.
+    for (uint16_t i = 0; i < row->NumColumns(); i++) {
+      if (!layout.IsVarlen(row->ColumnIds()[i])) continue;
+      byte *value = row->AccessWithNullCheck(i);
+      if (value == nullptr) continue;
+      auto *entry = reinterpret_cast<storage::VarlenEntry *>(value);
+      if (entry->IsInlined()) continue;
+      auto *copy = new byte[entry->Size()];
+      std::memcpy(copy, entry->Content(), entry->Size());
+      *entry = storage::VarlenEntry::Create(copy, entry->Size(), true);
+    }
+    const bool updated = table->Update(txn, slot, *row);
+    MAINLINE_ASSERT(updated, "in-place baseline assumes no concurrent writers");
+    (void)updated;
+    processed++;
+  }
+  txn_manager->Commit(txn);
+  return processed;
+}
+
+}  // namespace mainline::transform

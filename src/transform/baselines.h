@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "storage/data_table.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::transform {
+
+/// The "Transactional In-Place" baseline of Figure 12: perform the entire
+/// transformation as ordinary transactional updates, paying full version
+/// maintenance (undo records, version chains) for every tuple touched.
+/// \return number of tuples processed.
+uint64_t InPlaceTransform(transaction::TransactionManager *txn_manager,
+                          storage::DataTable *table, storage::RawBlock *block);
+
+}  // namespace mainline::transform

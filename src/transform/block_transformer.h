@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "gc/garbage_collector.h"
+#include "storage/data_table.h"
+#include "transaction/transaction_manager.h"
+#include "transform/compaction_planner.h"
+
+namespace mainline::transform {
+
+/// What the gathering phase emits for variable-length columns (Section 4.4).
+enum class GatherMode : uint8_t {
+  /// Contiguous Arrow varbinary buffers (values + int32 offsets).
+  kVarlenGather = 0,
+  /// Parquet/ORC-style dictionary compression (sorted dictionary + codes).
+  kDictionaryCompression,
+};
+
+/// Counters reported by the transformation pipeline, used by the Figure 12-14
+/// benchmarks.
+struct TransformStats {
+  uint64_t tuples_moved = 0;
+  uint64_t blocks_freed = 0;
+  uint64_t blocks_frozen = 0;
+  uint64_t compaction_aborts = 0;
+  uint64_t gather_retries = 0;
+  /// Operations in compaction transactions (each move = delete + insert).
+  uint64_t write_set_size = 0;
+  uint64_t compaction_us = 0;
+  uint64_t gather_us = 0;
+};
+
+/// The two-phase relaxed-Arrow-to-canonical-Arrow transformation of
+/// Section 4.3:
+///
+/// **Phase 1 (compaction)** runs one transaction per compaction group that
+/// shuffles tuples (delete + insert pairs) to make the group's tuples
+/// logically contiguous, marks the group's blocks *cooling* before
+/// committing, and registers emptied blocks for recycling.
+///
+/// **Phase 2 (gathering)** waits until every transaction that overlapped the
+/// compaction transaction has finished (closing the check-and-miss race of
+/// Figure 9), verifies that no version chains remain, takes the *freezing*
+/// exclusive lock, copies variable-length values into contiguous Arrow
+/// buffers (or builds dictionaries), computes Arrow metadata, and marks the
+/// block *frozen*.
+///
+/// Replaced buffers are reclaimed through the GC's deferred actions, so
+/// in-flight readers never observe freed memory.
+class BlockTransformer {
+ public:
+  /// Callback invoked after each successful tuple movement (for index
+  /// maintenance); receives (from, to, compaction transaction).
+  using MoveCallback = std::function<void(storage::TupleSlot, storage::TupleSlot,
+                                          transaction::TransactionContext *)>;
+
+  BlockTransformer(transaction::TransactionManager *txn_manager, gc::GarbageCollector *gc,
+                   GatherMode mode = GatherMode::kVarlenGather, bool optimal_planner = false)
+      : txn_manager_(txn_manager), gc_(gc), mode_(mode), optimal_planner_(optimal_planner) {}
+
+  DISALLOW_COPY_AND_MOVE(BlockTransformer)
+
+  /// Run phase 1 on a compaction group.
+  /// \param table owning table
+  /// \param group blocks to compact together
+  /// \param stats accumulates counters (may be nullptr)
+  /// \param commit_ts_out receives the compaction transaction's commit
+  ///        timestamp (gate for phase 2); may be nullptr
+  /// \param survivors_out receives the blocks still holding tuples after
+  ///        compaction (the candidates for gathering); may be nullptr.
+  ///        Emptied blocks are scheduled for recycling and must not be
+  ///        touched again.
+  /// \return true if compaction committed, false if it aborted on a conflict
+  ///         with user transactions (requeue the group).
+  bool CompactGroup(storage::DataTable *table, const std::vector<storage::RawBlock *> &group,
+                    TransformStats *stats, transaction::timestamp_t *commit_ts_out,
+                    std::vector<storage::RawBlock *> *survivors_out = nullptr);
+
+  /// Run phase 2 on one block (state must be cooling).
+  /// \return true if the block is now frozen; false if a user transaction
+  ///         preempted or residual versions were found (requeue).
+  bool GatherBlock(storage::DataTable *table, storage::RawBlock *block, TransformStats *stats);
+
+  /// Full pipeline: compact, wait out overlapping transactions, gather every
+  /// surviving block. Blocking; intended for the background transformation
+  /// thread and benchmarks.
+  /// \return number of blocks frozen.
+  uint32_t ProcessGroup(storage::DataTable *table,
+                        const std::vector<storage::RawBlock *> &group, TransformStats *stats);
+
+  void SetMoveCallback(MoveCallback callback) { move_callback_ = std::move(callback); }
+
+  /// Whether ProcessGroup may drive the garbage collector itself while
+  /// waiting for version chains to clear between phases (default). Disable
+  /// when a dedicated GC thread owns the collector — GC state is
+  /// single-consumer — in which case ProcessGroup waits for that thread to
+  /// prune instead.
+  void SetInlineGCPump(bool pump) { pump_gc_ = pump; }
+
+  GatherMode Mode() const { return mode_; }
+
+ private:
+  bool GatherVarlen(storage::DataTable *table, storage::RawBlock *block, uint32_t num_records,
+                    storage::ArrowBlockMetadata *metadata,
+                    std::vector<const byte *> *old_buffers);
+  bool GatherDictionary(storage::DataTable *table, storage::RawBlock *block,
+                        uint32_t num_records, storage::ArrowBlockMetadata *metadata,
+                        std::vector<const byte *> *old_buffers);
+
+  transaction::TransactionManager *txn_manager_;
+  gc::GarbageCollector *gc_;
+  GatherMode mode_;
+  bool optimal_planner_;
+  bool pump_gc_ = true;
+  MoveCallback move_callback_;
+};
+
+}  // namespace mainline::transform

@@ -1,0 +1,117 @@
+#include "transform/compaction_planner.h"
+
+#include <algorithm>
+
+namespace mainline::transform {
+
+namespace {
+
+struct BlockInfo {
+  storage::RawBlock *block;
+  std::vector<uint32_t> filled;  // allocated slot offsets, ascending
+  std::vector<uint32_t> gaps;    // unallocated slot offsets, ascending
+};
+
+BlockInfo Inspect(const storage::DataTable &table, storage::RawBlock *block) {
+  BlockInfo info{block, {}, {}};
+  const uint32_t num_slots = table.GetLayout().NumSlots();
+  const auto *bitmap = table.Accessor().AllocationBitmap(block);
+  for (uint32_t i = 0; i < num_slots; i++) {
+    if (bitmap->Test(i)) {
+      info.filled.push_back(i);
+    } else {
+      info.gaps.push_back(i);
+    }
+  }
+  return info;
+}
+
+/// Number of gaps within the first `prefix` slots of a block.
+uint32_t GapsInPrefix(const BlockInfo &info, uint32_t prefix) {
+  return static_cast<uint32_t>(
+      std::lower_bound(info.gaps.begin(), info.gaps.end(), prefix) - info.gaps.begin());
+}
+
+}  // namespace
+
+CompactionPlan CompactionPlanner::Plan(const storage::DataTable &table,
+                                       const std::vector<storage::RawBlock *> &group,
+                                       bool optimal) {
+  const uint32_t s = table.GetLayout().NumSlots();
+  std::vector<BlockInfo> infos;
+  infos.reserve(group.size());
+  uint32_t t = 0;
+  for (storage::RawBlock *block : group) {
+    infos.push_back(Inspect(table, block));
+    t += static_cast<uint32_t>(infos.back().filled.size());
+  }
+
+  CompactionPlan plan;
+  plan.total_tuples = t;
+
+  // Fullest blocks first (fewest empty slots) — the selection of F that
+  // minimizes gaps to fill.
+  std::sort(infos.begin(), infos.end(), [](const BlockInfo &a, const BlockInfo &b) {
+    return a.gaps.size() < b.gaps.size();
+  });
+
+  const uint32_t num_full = t / s;
+  const uint32_t rem = t % s;
+
+  // Choose p among the remaining blocks.
+  size_t p_idx = infos.size();  // none
+  if (rem != 0) {
+    MAINLINE_ASSERT(num_full < infos.size(), "remainder implies a partial block exists");
+    p_idx = num_full;  // approximate: next-fullest block
+    if (optimal) {
+      // Optimal: the p whose first `rem` slots have the fewest gaps costs the
+      // fewest movements (Section 4.3).
+      for (size_t i = num_full; i < infos.size(); i++) {
+        if (GapsInPrefix(infos[i], rem) < GapsInPrefix(infos[p_idx], rem)) p_idx = i;
+      }
+      if (p_idx != num_full) std::swap(infos[p_idx], infos[num_full]);
+      p_idx = num_full;
+    }
+  }
+
+  // Targets: every gap in F, plus gaps within p's first `rem` slots.
+  std::vector<storage::TupleSlot> targets;
+  for (size_t i = 0; i < num_full; i++) {
+    for (const uint32_t gap : infos[i].gaps) {
+      targets.emplace_back(infos[i].block, gap);
+    }
+    plan.target_blocks.push_back(infos[i].block);
+  }
+  if (p_idx < infos.size()) {
+    const BlockInfo &p = infos[p_idx];
+    for (const uint32_t gap : p.gaps) {
+      if (gap < rem) targets.emplace_back(p.block, gap);
+    }
+    plan.target_blocks.push_back(p.block);
+  }
+
+  // Sources: p's tuples beyond the prefix, plus every tuple in E.
+  std::vector<storage::TupleSlot> sources;
+  if (p_idx < infos.size()) {
+    const BlockInfo &p = infos[p_idx];
+    for (const uint32_t slot : p.filled) {
+      if (slot >= rem) sources.emplace_back(p.block, slot);
+    }
+  }
+  for (size_t i = (p_idx < infos.size() ? p_idx + 1 : num_full); i < infos.size(); i++) {
+    for (const uint32_t slot : infos[i].filled) {
+      sources.emplace_back(infos[i].block, slot);
+    }
+    plan.emptied_blocks.push_back(infos[i].block);
+  }
+
+  MAINLINE_ASSERT(sources.size() == targets.size(),
+                  "compaction accounting: |sources| must equal |targets|");
+  plan.moves.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); i++) {
+    plan.moves.emplace_back(sources[i], targets[i]);
+  }
+  return plan;
+}
+
+}  // namespace mainline::transform

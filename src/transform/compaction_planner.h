@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/data_table.h"
+
+namespace mainline::transform {
+
+/// The output of compaction planning (Section 4.3 Phase #1): a set of
+/// one-to-one tuple movements that makes the group's tuples "logically
+/// contiguous" — ⌊t/s⌋ blocks completely full, one block filled in its first
+/// (t mod s) slots, and the rest empty.
+struct CompactionPlan {
+  /// Tuple movements to execute (source slot -> destination gap).
+  std::vector<std::pair<storage::TupleSlot, storage::TupleSlot>> moves;
+  /// Blocks that hold tuples in the final state (F ∪ {p}).
+  std::vector<storage::RawBlock *> target_blocks;
+  /// Blocks that end up empty and can be recycled (E).
+  std::vector<storage::RawBlock *> emptied_blocks;
+  /// Total live tuples in the group.
+  uint32_t total_tuples = 0;
+};
+
+/// Plans tuple movements for a compaction group. Two strategies, compared in
+/// Figure 13:
+///  - **approximate**: sort blocks by emptiness ascending, take the fullest
+///    ⌊t/s⌋ as F and the next as p. Within (t mod s) movements of optimal,
+///    with a single pass.
+///  - **optimal**: additionally try every remaining block as p and keep the
+///    one whose first (t mod s) slots have the fewest gaps.
+class CompactionPlanner {
+ public:
+  CompactionPlanner() = delete;
+
+  /// \param table table the group belongs to
+  /// \param group blocks to compact together (same layout)
+  /// \param optimal use the optimal planner instead of the approximate one
+  static CompactionPlan Plan(const storage::DataTable &table,
+                             const std::vector<storage::RawBlock *> &group, bool optimal);
+};
+
+}  // namespace mainline::transform

@@ -1,0 +1,48 @@
+#include "transform/transform_pipeline.h"
+
+namespace mainline::transform {
+
+uint32_t TransformPipeline::RunOnce() {
+  // Group candidates per table, validating that each block still belongs to
+  // the table we observed (it may have been recycled since).
+  std::unordered_map<storage::DataTable *, std::vector<storage::RawBlock *>> per_table;
+  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> candidates;
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&manual_latch_);
+    candidates.swap(manual_queue_);
+  }
+  for (auto &[block, table] : observer_->CollectColdBlocks()) candidates.emplace_back(block, table);
+  for (auto &[block, table] : candidates) {
+    if (block->data_table != table || table == nullptr) continue;
+    if (table_filter_ && !table_filter_(table)) continue;
+    if (block->controller.GetState() == storage::BlockState::kFrozen) continue;
+    per_table[table].push_back(block);
+  }
+
+  uint32_t frozen = 0;
+  for (auto &[table, blocks] : per_table) {
+    for (size_t i = 0; i < blocks.size(); i += group_size_) {
+      const size_t end = std::min(blocks.size(), i + group_size_);
+      const std::vector<storage::RawBlock *> group(blocks.begin() + static_cast<long>(i),
+                                                   blocks.begin() + static_cast<long>(end));
+      frozen += transformer_->ProcessGroup(table, group, &stats_);
+    }
+  }
+  return frozen;
+}
+
+void TransformPipeline::Start(std::chrono::milliseconds period) {
+  if (run_.exchange(true)) return;
+  worker_ = std::thread([this, period] {
+    while (run_.load(std::memory_order_acquire)) {
+      RunOnce();
+      std::this_thread::sleep_for(period);
+    }
+  });
+}
+
+void TransformPipeline::Stop() {
+  if (run_.exchange(false) && worker_.joinable()) worker_.join();
+}
+
+}  // namespace mainline::transform

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "transform/access_observer.h"
+#include "transform/block_transformer.h"
+
+namespace mainline::transform {
+
+/// The background transformation pipeline of Figure 8: pulls cold-block
+/// candidates from the access observer, groups them per table into compaction
+/// groups, and runs the two-phase transformer over each group. Runs either on
+/// a dedicated thread (Start/Stop) or cooperatively (RunOnce).
+class TransformPipeline {
+ public:
+  /// \param observer source of cold-block candidates (fed by the GC)
+  /// \param transformer two-phase compact+gather engine
+  /// \param group_size blocks per compaction group (Figure 14's knob)
+  TransformPipeline(AccessObserver *observer, BlockTransformer *transformer,
+                    uint32_t group_size)
+      : observer_(observer), transformer_(transformer), group_size_(group_size) {}
+
+  DISALLOW_COPY_AND_MOVE(TransformPipeline)
+
+  ~TransformPipeline() { Stop(); }
+
+  /// Restrict transformation to tables for which `filter` returns true
+  /// (the paper targets only the tables that generate cold data).
+  void SetTableFilter(std::function<bool(storage::DataTable *)> filter) {
+    table_filter_ = std::move(filter);
+  }
+
+  /// Manually enqueue every current block of `table` as a cold candidate
+  /// (e.g. a bulk-loaded, read-mostly table whose writes predate the
+  /// observer).
+  void EnqueueTable(storage::DataTable *table) {
+    common::SpinLatch::ScopedSpinLatch guard(&manual_latch_);
+    for (storage::RawBlock *block : table->Blocks()) manual_queue_.emplace_back(block, table);
+  }
+
+  /// One pass: collect cold blocks, form groups, transform them.
+  /// \return number of blocks frozen in this pass.
+  uint32_t RunOnce();
+
+  /// Spawn the background transformation thread.
+  void Start(std::chrono::milliseconds period = std::chrono::milliseconds(10));
+
+  /// Join the background thread.
+  void Stop();
+
+  const TransformStats &Stats() const { return stats_; }
+
+ private:
+  AccessObserver *observer_;
+  BlockTransformer *transformer_;
+  uint32_t group_size_;
+  std::function<bool(storage::DataTable *)> table_filter_;
+  TransformStats stats_;
+  common::SpinLatch manual_latch_;
+  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> manual_queue_;
+
+  std::thread worker_;
+  std::atomic<bool> run_{false};
+};
+
+}  // namespace mainline::transform

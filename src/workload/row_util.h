@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "storage/projected_row.h"
+#include "storage/varlen_entry.h"
+
+namespace mainline::workload {
+
+/// Typed helpers for reading and writing ProjectedRow values in workload
+/// code. `idx` is the projection index (not the column id).
+template <typename T>
+void Set(storage::ProjectedRow *row, uint16_t idx, T value) {
+  *reinterpret_cast<T *>(row->AccessForceNotNull(idx)) = value;
+}
+
+template <typename T>
+T Get(const storage::ProjectedRow &row, uint16_t idx) {
+  const byte *value = row.AccessWithNullCheck(idx);
+  MAINLINE_ASSERT(value != nullptr, "unexpected null");
+  return *reinterpret_cast<const T *>(value);
+}
+
+/// Write a varchar value, allocating an owned buffer if it does not inline.
+inline void SetVarchar(storage::ProjectedRow *row, uint16_t idx, std::string_view value) {
+  const storage::VarlenEntry entry = storage::AllocateVarlen(value);
+  std::memcpy(row->AccessForceNotNull(idx), &entry, sizeof(entry));
+}
+
+inline std::string_view GetVarchar(const storage::ProjectedRow &row, uint16_t idx) {
+  const byte *value = row.AccessWithNullCheck(idx);
+  MAINLINE_ASSERT(value != nullptr, "unexpected null");
+  return reinterpret_cast<const storage::VarlenEntry *>(value)->StringView();
+}
+
+}  // namespace mainline::workload

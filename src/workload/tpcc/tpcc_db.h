@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "index/index.h"
+#include "transaction/transaction_manager.h"
+#include "workload/tpcc/tpcc_schemas.h"
+
+namespace mainline::workload::tpcc {
+
+/// Scale knobs. Defaults follow the TPC-C specification; tests shrink them.
+struct Config {
+  int32_t num_warehouses = 1;
+  int32_t num_items = 100000;
+  int32_t districts_per_warehouse = 10;
+  int32_t customers_per_district = 3000;
+  /// Initial orders per district (== customers; the last third are
+  /// undelivered and populate NEW_ORDER).
+  int32_t orders_per_district = 3000;
+
+  /// A proportionally scaled-down configuration for tests.
+  static Config Scaled(int32_t items, int32_t customers) {
+    Config c;
+    c.num_items = items;
+    c.customers_per_district = customers;
+    c.orders_per_district = customers;
+    return c;
+  }
+};
+
+/// The TPC-C database: creates the nine tables and their indexes in the
+/// catalog, and loads the initial population.
+class Database {
+ public:
+  Database(catalog::Catalog *catalog, const Config &config);
+
+  /// Populate all tables per the TPC-C initial database rules (warehouses are
+  /// loaded in parallel when `num_threads` > 1).
+  void Load(transaction::TransactionManager *txn_manager, uint32_t num_threads = 1);
+
+  Config config;
+
+  storage::SqlTable *warehouse;
+  storage::SqlTable *district;
+  storage::SqlTable *customer;
+  storage::SqlTable *history;
+  storage::SqlTable *new_order;
+  storage::SqlTable *order;
+  storage::SqlTable *order_line;
+  storage::SqlTable *item;
+  storage::SqlTable *stock;
+
+  index::Index *warehouse_pk;
+  index::Index *district_pk;
+  index::Index *customer_pk;
+  index::Index *customer_name_idx;  // ordered
+  index::Index *new_order_pk;       // ordered
+  index::Index *order_pk;
+  index::Index *order_customer_idx;  // ordered
+  index::Index *order_line_pk;       // ordered
+  index::Index *item_pk;
+  index::Index *stock_pk;
+
+ private:
+  void LoadItems(transaction::TransactionManager *txn_manager);
+  void LoadWarehouse(transaction::TransactionManager *txn_manager, int32_t w_id);
+};
+
+}  // namespace mainline::workload::tpcc

@@ -1,0 +1,146 @@
+#include "workload/tpcc/tpcc_schemas.h"
+
+namespace mainline::workload::tpcc {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::TypeId;
+
+Schema WarehouseSchema() {
+  return Schema({
+      {"w_id", TypeId::kInteger},
+      {"w_name", TypeId::kVarchar},
+      {"w_street_1", TypeId::kVarchar},
+      {"w_street_2", TypeId::kVarchar},
+      {"w_city", TypeId::kVarchar},
+      {"w_state", TypeId::kVarchar},
+      {"w_zip", TypeId::kVarchar},
+      {"w_tax", TypeId::kDecimal},
+      {"w_ytd", TypeId::kDecimal},
+  });
+}
+
+Schema DistrictSchema() {
+  return Schema({
+      {"d_id", TypeId::kInteger},
+      {"d_w_id", TypeId::kInteger},
+      {"d_name", TypeId::kVarchar},
+      {"d_street_1", TypeId::kVarchar},
+      {"d_street_2", TypeId::kVarchar},
+      {"d_city", TypeId::kVarchar},
+      {"d_state", TypeId::kVarchar},
+      {"d_zip", TypeId::kVarchar},
+      {"d_tax", TypeId::kDecimal},
+      {"d_ytd", TypeId::kDecimal},
+      {"d_next_o_id", TypeId::kInteger},
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      {"c_id", TypeId::kInteger},
+      {"c_d_id", TypeId::kInteger},
+      {"c_w_id", TypeId::kInteger},
+      {"c_first", TypeId::kVarchar},
+      {"c_middle", TypeId::kVarchar},
+      {"c_last", TypeId::kVarchar},
+      {"c_street_1", TypeId::kVarchar},
+      {"c_street_2", TypeId::kVarchar},
+      {"c_city", TypeId::kVarchar},
+      {"c_state", TypeId::kVarchar},
+      {"c_zip", TypeId::kVarchar},
+      {"c_phone", TypeId::kVarchar},
+      {"c_since", TypeId::kTimestamp},
+      {"c_credit", TypeId::kVarchar},
+      {"c_credit_lim", TypeId::kDecimal},
+      {"c_discount", TypeId::kDecimal},
+      {"c_balance", TypeId::kDecimal},
+      {"c_ytd_payment", TypeId::kDecimal},
+      {"c_payment_cnt", TypeId::kSmallInt},
+      {"c_delivery_cnt", TypeId::kSmallInt},
+      {"c_data", TypeId::kVarchar},
+  });
+}
+
+Schema HistorySchema() {
+  return Schema({
+      {"h_c_id", TypeId::kInteger},
+      {"h_c_d_id", TypeId::kInteger},
+      {"h_c_w_id", TypeId::kInteger},
+      {"h_d_id", TypeId::kInteger},
+      {"h_w_id", TypeId::kInteger},
+      {"h_date", TypeId::kTimestamp},
+      {"h_amount", TypeId::kDecimal},
+      {"h_data", TypeId::kVarchar},
+  });
+}
+
+Schema NewOrderSchema() {
+  return Schema({
+      {"no_o_id", TypeId::kInteger},
+      {"no_d_id", TypeId::kInteger},
+      {"no_w_id", TypeId::kInteger},
+  });
+}
+
+Schema OrderSchema() {
+  return Schema({
+      {"o_id", TypeId::kInteger},
+      {"o_d_id", TypeId::kInteger},
+      {"o_w_id", TypeId::kInteger},
+      {"o_c_id", TypeId::kInteger},
+      {"o_entry_d", TypeId::kTimestamp},
+      {"o_carrier_id", TypeId::kInteger, true},  // null until delivered
+      {"o_ol_cnt", TypeId::kTinyInt},
+      {"o_all_local", TypeId::kTinyInt},
+  });
+}
+
+Schema OrderLineSchema() {
+  return Schema({
+      {"ol_o_id", TypeId::kInteger},
+      {"ol_d_id", TypeId::kInteger},
+      {"ol_w_id", TypeId::kInteger},
+      {"ol_number", TypeId::kInteger},
+      {"ol_i_id", TypeId::kInteger},
+      {"ol_supply_w_id", TypeId::kInteger},
+      {"ol_delivery_d", TypeId::kTimestamp, true},  // null until delivered
+      {"ol_quantity", TypeId::kTinyInt},
+      {"ol_amount", TypeId::kDecimal},
+      {"ol_dist_info", TypeId::kVarchar},
+  });
+}
+
+Schema ItemSchema() {
+  return Schema({
+      {"i_id", TypeId::kInteger},
+      {"i_im_id", TypeId::kInteger},
+      {"i_name", TypeId::kVarchar},
+      {"i_price", TypeId::kDecimal},
+      {"i_data", TypeId::kVarchar},
+  });
+}
+
+Schema StockSchema() {
+  return Schema({
+      {"s_i_id", TypeId::kInteger},
+      {"s_w_id", TypeId::kInteger},
+      {"s_quantity", TypeId::kSmallInt},
+      {"s_dist_01", TypeId::kVarchar},
+      {"s_dist_02", TypeId::kVarchar},
+      {"s_dist_03", TypeId::kVarchar},
+      {"s_dist_04", TypeId::kVarchar},
+      {"s_dist_05", TypeId::kVarchar},
+      {"s_dist_06", TypeId::kVarchar},
+      {"s_dist_07", TypeId::kVarchar},
+      {"s_dist_08", TypeId::kVarchar},
+      {"s_dist_09", TypeId::kVarchar},
+      {"s_dist_10", TypeId::kVarchar},
+      {"s_ytd", TypeId::kDecimal},
+      {"s_order_cnt", TypeId::kSmallInt},
+      {"s_remote_cnt", TypeId::kSmallInt},
+      {"s_data", TypeId::kVarchar},
+  });
+}
+
+}  // namespace mainline::workload::tpcc

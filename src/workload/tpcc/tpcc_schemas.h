@@ -1,0 +1,193 @@
+#pragma once
+
+#include "catalog/schema.h"
+#include "index/index_key.h"
+
+namespace mainline::workload::tpcc {
+
+/// Column position enums and schema factories for the nine TPC-C tables
+/// (TPC-C v5.9). Column order matches the specification's table definitions;
+/// positions double as physical column ids.
+
+// -- WAREHOUSE ---------------------------------------------------------------
+enum Warehouse : uint16_t {
+  W_ID = 0,
+  W_NAME,
+  W_STREET_1,
+  W_STREET_2,
+  W_CITY,
+  W_STATE,
+  W_ZIP,
+  W_TAX,
+  W_YTD,
+};
+
+// -- DISTRICT ----------------------------------------------------------------
+enum District : uint16_t {
+  D_ID = 0,
+  D_W_ID,
+  D_NAME,
+  D_STREET_1,
+  D_STREET_2,
+  D_CITY,
+  D_STATE,
+  D_ZIP,
+  D_TAX,
+  D_YTD,
+  D_NEXT_O_ID,
+};
+
+// -- CUSTOMER ----------------------------------------------------------------
+enum Customer : uint16_t {
+  C_ID = 0,
+  C_D_ID,
+  C_W_ID,
+  C_FIRST,
+  C_MIDDLE,
+  C_LAST,
+  C_STREET_1,
+  C_STREET_2,
+  C_CITY,
+  C_STATE,
+  C_ZIP,
+  C_PHONE,
+  C_SINCE,
+  C_CREDIT,
+  C_CREDIT_LIM,
+  C_DISCOUNT,
+  C_BALANCE,
+  C_YTD_PAYMENT,
+  C_PAYMENT_CNT,
+  C_DELIVERY_CNT,
+  C_DATA,
+};
+
+// -- HISTORY -----------------------------------------------------------------
+enum History : uint16_t {
+  H_C_ID = 0,
+  H_C_D_ID,
+  H_C_W_ID,
+  H_D_ID,
+  H_W_ID,
+  H_DATE,
+  H_AMOUNT,
+  H_DATA,
+};
+
+// -- NEW_ORDER ---------------------------------------------------------------
+enum NewOrder : uint16_t {
+  NO_O_ID = 0,
+  NO_D_ID,
+  NO_W_ID,
+};
+
+// -- ORDER -------------------------------------------------------------------
+enum Order : uint16_t {
+  O_ID = 0,
+  O_D_ID,
+  O_W_ID,
+  O_C_ID,
+  O_ENTRY_D,
+  O_CARRIER_ID,
+  O_OL_CNT,
+  O_ALL_LOCAL,
+};
+
+// -- ORDER_LINE --------------------------------------------------------------
+enum OrderLine : uint16_t {
+  OL_O_ID = 0,
+  OL_D_ID,
+  OL_W_ID,
+  OL_NUMBER,
+  OL_I_ID,
+  OL_SUPPLY_W_ID,
+  OL_DELIVERY_D,
+  OL_QUANTITY,
+  OL_AMOUNT,
+  OL_DIST_INFO,
+};
+
+// -- ITEM --------------------------------------------------------------------
+enum Item : uint16_t {
+  I_ID = 0,
+  I_IM_ID,
+  I_NAME,
+  I_PRICE,
+  I_DATA,
+};
+
+// -- STOCK -------------------------------------------------------------------
+enum Stock : uint16_t {
+  S_I_ID = 0,
+  S_W_ID,
+  S_QUANTITY,
+  S_DIST_01,
+  S_DIST_02,
+  S_DIST_03,
+  S_DIST_04,
+  S_DIST_05,
+  S_DIST_06,
+  S_DIST_07,
+  S_DIST_08,
+  S_DIST_09,
+  S_DIST_10,
+  S_YTD,
+  S_ORDER_CNT,
+  S_REMOTE_CNT,
+  S_DATA,
+};
+
+catalog::Schema WarehouseSchema();
+catalog::Schema DistrictSchema();
+catalog::Schema CustomerSchema();
+catalog::Schema HistorySchema();
+catalog::Schema NewOrderSchema();
+catalog::Schema OrderSchema();
+catalog::Schema OrderLineSchema();
+catalog::Schema ItemSchema();
+catalog::Schema StockSchema();
+
+// -- index key builders --------------------------------------------------------
+
+inline index::IndexKey WarehouseKey(int32_t w_id) {
+  return index::IndexKey().AddSigned(w_id);
+}
+inline index::IndexKey DistrictKey(int32_t w_id, int32_t d_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(d_id);
+}
+inline index::IndexKey CustomerKey(int32_t w_id, int32_t d_id, int32_t c_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(d_id).AddSigned(c_id);
+}
+inline index::IndexKey CustomerNameKey(int32_t w_id, int32_t d_id, std::string_view c_last,
+                                       std::string_view c_first, int32_t c_id) {
+  return index::IndexKey()
+      .AddSigned(w_id)
+      .AddSigned(d_id)
+      .AddString(c_last, 16)
+      .AddString(c_first, 12)
+      .AddSigned(c_id);
+}
+inline index::IndexKey NewOrderKey(int32_t w_id, int32_t d_id, int32_t o_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(d_id).AddSigned(o_id);
+}
+inline index::IndexKey OrderKey(int32_t w_id, int32_t d_id, int32_t o_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(d_id).AddSigned(o_id);
+}
+inline index::IndexKey OrderCustomerKey(int32_t w_id, int32_t d_id, int32_t c_id,
+                                        int32_t o_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(d_id).AddSigned(c_id).AddSigned(o_id);
+}
+inline index::IndexKey OrderLineKey(int32_t w_id, int32_t d_id, int32_t o_id,
+                                    int32_t ol_number) {
+  return index::IndexKey()
+      .AddSigned(w_id)
+      .AddSigned(d_id)
+      .AddSigned(o_id)
+      .AddSigned(ol_number);
+}
+inline index::IndexKey ItemKey(int32_t i_id) { return index::IndexKey().AddSigned(i_id); }
+inline index::IndexKey StockKey(int32_t w_id, int32_t i_id) {
+  return index::IndexKey().AddSigned(w_id).AddSigned(i_id);
+}
+
+}  // namespace mainline::workload::tpcc

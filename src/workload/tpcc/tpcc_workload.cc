@@ -1,0 +1,563 @@
+#include "workload/tpcc/tpcc_workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "index/index.h"
+#include "workload/row_util.h"
+
+namespace mainline::workload::tpcc {
+
+namespace {
+
+/// Reusable projection buffer bound to a subset of a table's columns.
+class Projection {
+ public:
+  Projection(storage::SqlTable *table, std::vector<uint16_t> cols)
+      : initializer_(table->InitializerForColumns(cols)),
+        bytes_(initializer_.ProjectedRowSize() + 8) {}
+
+  explicit Projection(storage::SqlTable *table)
+      : initializer_(table->FullInitializer()), bytes_(initializer_.ProjectedRowSize() + 8) {}
+
+  storage::ProjectedRow *Reset() { return initializer_.InitializeRow(bytes_.data()); }
+
+  /// Map a schema column position to this projection's index.
+  uint16_t IndexOf(uint16_t col) const {
+    const int32_t idx = initializer_.InitializeRow(
+        const_cast<byte *>(bytes_.data()))->ProjectionIndex(storage::col_id_t(col));
+    MAINLINE_ASSERT(idx >= 0, "column not in projection");
+    return static_cast<uint16_t>(idx);
+  }
+
+ private:
+  storage::ProjectedRowInitializer initializer_;
+  std::vector<byte> bytes_;
+};
+
+}  // namespace
+
+bool Worker::RunOne() {
+  const uint64_t roll = rng_.Uniform(1, 100);
+  bool ok;
+  if (roll <= 45) {
+    ok = NewOrderTxn();
+    if (ok) stats_.new_order_committed++;
+  } else if (roll <= 88) {
+    ok = PaymentTxn();
+    if (ok) stats_.payment_committed++;
+  } else if (roll <= 92) {
+    ok = OrderStatusTxn();
+    if (ok) stats_.order_status_committed++;
+  } else if (roll <= 96) {
+    ok = DeliveryTxn();
+    if (ok) stats_.delivery_committed++;
+  } else {
+    ok = StockLevelTxn();
+    if (ok) stats_.stock_level_committed++;
+  }
+  if (!ok) stats_.aborted++;
+  return ok;
+}
+
+bool Worker::NewOrderTxn() {
+  Database &db = *db_;
+  const auto d_id = static_cast<int32_t>(rng_.Uniform(1, db.config.districts_per_warehouse));
+  const auto c_id = static_cast<int32_t>(
+      rng_.NuRand(1023, 1, static_cast<uint64_t>(db.config.customers_per_district), 259));
+  const auto ol_cnt = static_cast<int32_t>(rng_.Uniform(5, 15));
+  const bool rollback = rng_.Uniform(1, 100) == 1;  // 1% enter an invalid item
+
+  auto *txn = txn_manager_->BeginTransaction();
+
+  // Warehouse tax (read-only).
+  storage::TupleSlot w_slot;
+  if (!db.warehouse_pk->Find(WarehouseKey(w_id_), &w_slot)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  Projection w_proj(db.warehouse, {W_TAX});
+  storage::ProjectedRow *w_row = w_proj.Reset();
+  if (!db.warehouse->Select(txn, w_slot, w_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // District: read tax + next order id, increment next order id. The update
+  // delta covers only the modified (fixed-length) column.
+  storage::TupleSlot d_slot;
+  db.district_pk->Find(DistrictKey(w_id_, d_id), &d_slot);
+  Projection d_proj(db.district, {D_TAX, D_NEXT_O_ID});
+  storage::ProjectedRow *d_row = d_proj.Reset();
+  if (!db.district->Select(txn, d_slot, d_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  const auto next_idx =
+      static_cast<uint16_t>(d_row->ProjectionIndex(storage::col_id_t(D_NEXT_O_ID)));
+  const int32_t o_id = Get<int32_t>(*d_row, next_idx);
+  Projection d_delta_proj(db.district, {D_NEXT_O_ID});
+  storage::ProjectedRow *d_delta = d_delta_proj.Reset();
+  Set<int32_t>(d_delta, 0, o_id + 1);
+  if (!db.district->Update(txn, d_slot, *d_delta)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // Customer discount/credit (read-only).
+  storage::TupleSlot c_slot;
+  db.customer_pk->Find(CustomerKey(w_id_, d_id, c_id), &c_slot);
+  Projection c_proj(db.customer, {C_DISCOUNT, C_LAST, C_CREDIT});
+  if (!db.customer->Select(txn, c_slot, c_proj.Reset())) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // Insert ORDER and NEW_ORDER.
+  Projection o_proj(db.order);
+  storage::ProjectedRow *o_row = o_proj.Reset();
+  Set<int32_t>(o_row, O_ID, o_id);
+  Set<int32_t>(o_row, O_D_ID, d_id);
+  Set<int32_t>(o_row, O_W_ID, w_id_);
+  Set<int32_t>(o_row, O_C_ID, c_id);
+  Set<uint64_t>(o_row, O_ENTRY_D, txn->StartTime());
+  o_row->SetNull(O_CARRIER_ID);
+  Set<int8_t>(o_row, O_OL_CNT, static_cast<int8_t>(ol_cnt));
+  Set<int8_t>(o_row, O_ALL_LOCAL, 1);
+  const storage::TupleSlot o_slot = db.order->Insert(txn, *o_row);
+  db.order_pk->InsertOverwrite(OrderKey(w_id_, d_id, o_id), o_slot);
+  db.order_customer_idx->InsertOverwrite(OrderCustomerKey(w_id_, d_id, c_id, o_id), o_slot);
+
+  Projection no_proj(db.new_order);
+  storage::ProjectedRow *no_row = no_proj.Reset();
+  Set<int32_t>(no_row, NO_O_ID, o_id);
+  Set<int32_t>(no_row, NO_D_ID, d_id);
+  Set<int32_t>(no_row, NO_W_ID, w_id_);
+  db.new_order_pk->InsertOverwrite(NewOrderKey(w_id_, d_id, o_id),
+                                   db.new_order->Insert(txn, *no_row));
+
+  // Order lines.
+  Projection i_proj(db.item, {I_PRICE, I_NAME, I_DATA});
+  Projection s_proj(db.stock,
+                    {S_QUANTITY, S_YTD, S_ORDER_CNT, S_REMOTE_CNT, S_DATA,
+                     static_cast<uint16_t>(S_DIST_01 + (d_id - 1))});
+  Projection ol_proj(db.order_line);
+  for (int32_t ol = 1; ol <= ol_cnt; ol++) {
+    const bool last = ol == ol_cnt;
+    const int32_t i_id =
+        (rollback && last)
+            ? -1  // unused item id: triggers the rollback case
+            : static_cast<int32_t>(
+                  rng_.NuRand(8191, 1, static_cast<uint64_t>(db.config.num_items), 42));
+    storage::TupleSlot i_slot;
+    if (!db.item_pk->Find(ItemKey(i_id), &i_slot)) {
+      txn_manager_->Abort(txn);  // "not-found" item: the 1% rollback clause
+      return false;
+    }
+    storage::ProjectedRow *i_row = i_proj.Reset();
+    if (!db.item->Select(txn, i_slot, i_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    const double i_price = Get<double>(
+        *i_row, static_cast<uint16_t>(i_row->ProjectionIndex(storage::col_id_t(I_PRICE))));
+
+    const auto quantity = static_cast<int32_t>(rng_.Uniform(1, 10));
+    storage::TupleSlot s_slot;
+    db.stock_pk->Find(StockKey(w_id_, i_id), &s_slot);
+    storage::ProjectedRow *s_row = s_proj.Reset();
+    if (!db.stock->Select(txn, s_slot, s_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    const auto qty_idx =
+        static_cast<uint16_t>(s_row->ProjectionIndex(storage::col_id_t(S_QUANTITY)));
+    const auto ytd_idx =
+        static_cast<uint16_t>(s_row->ProjectionIndex(storage::col_id_t(S_YTD)));
+    const auto cnt_idx =
+        static_cast<uint16_t>(s_row->ProjectionIndex(storage::col_id_t(S_ORDER_CNT)));
+    const auto dist_idx = static_cast<uint16_t>(
+        s_row->ProjectionIndex(storage::col_id_t(S_DIST_01 + (d_id - 1))));
+    int16_t s_qty = Get<int16_t>(*s_row, qty_idx);
+    s_qty = s_qty >= quantity + 10 ? static_cast<int16_t>(s_qty - quantity)
+                                   : static_cast<int16_t>(s_qty - quantity + 91);
+    const std::string dist_info(GetVarchar(*s_row, dist_idx));
+    // The update delta contains only the modified fixed-length columns; the
+    // varchar columns we read stay out of the delta (varlen values in a
+    // delta transfer buffer ownership to the version chain).
+    Projection s_delta_proj(db.stock, {S_QUANTITY, S_YTD, S_ORDER_CNT});
+    storage::ProjectedRow *s_delta = s_delta_proj.Reset();
+    Set<int16_t>(s_delta,
+                 static_cast<uint16_t>(s_delta->ProjectionIndex(storage::col_id_t(S_QUANTITY))),
+                 s_qty);
+    Set<double>(s_delta,
+                static_cast<uint16_t>(s_delta->ProjectionIndex(storage::col_id_t(S_YTD))),
+                Get<double>(*s_row, ytd_idx) + quantity);
+    Set<int16_t>(s_delta,
+                 static_cast<uint16_t>(s_delta->ProjectionIndex(storage::col_id_t(S_ORDER_CNT))),
+                 static_cast<int16_t>(Get<int16_t>(*s_row, cnt_idx) + 1));
+    if (!db.stock->Update(txn, s_slot, *s_delta)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+
+    storage::ProjectedRow *ol_row = ol_proj.Reset();
+    Set<int32_t>(ol_row, OL_O_ID, o_id);
+    Set<int32_t>(ol_row, OL_D_ID, d_id);
+    Set<int32_t>(ol_row, OL_W_ID, w_id_);
+    Set<int32_t>(ol_row, OL_NUMBER, ol);
+    Set<int32_t>(ol_row, OL_I_ID, i_id);
+    Set<int32_t>(ol_row, OL_SUPPLY_W_ID, w_id_);
+    ol_row->SetNull(OL_DELIVERY_D);
+    Set<int8_t>(ol_row, OL_QUANTITY, static_cast<int8_t>(quantity));
+    Set<double>(ol_row, OL_AMOUNT, quantity * i_price);
+    SetVarchar(ol_row, OL_DIST_INFO, dist_info);
+    db.order_line_pk->InsertOverwrite(OrderLineKey(w_id_, d_id, o_id, ol),
+                                      db.order_line->Insert(txn, *ol_row));
+  }
+
+  txn_manager_->Commit(txn);
+  return true;
+}
+
+bool Worker::PaymentTxn() {
+  Database &db = *db_;
+  const auto d_id = static_cast<int32_t>(rng_.Uniform(1, db.config.districts_per_warehouse));
+  const double amount = static_cast<double>(rng_.Uniform(100, 500000)) / 100.0;
+  // Single-warehouse deployments pay locally; otherwise 15% remote.
+  int32_t c_w_id = w_id_, c_d_id = d_id;
+  if (db.config.num_warehouses > 1 && rng_.Uniform(1, 100) <= 15) {
+    do {
+      c_w_id = static_cast<int32_t>(rng_.Uniform(1, db.config.num_warehouses));
+    } while (c_w_id == w_id_);
+    c_d_id = static_cast<int32_t>(rng_.Uniform(1, db.config.districts_per_warehouse));
+  }
+
+  auto *txn = txn_manager_->BeginTransaction();
+
+  // Warehouse: read name, bump ytd.
+  storage::TupleSlot w_slot;
+  db.warehouse_pk->Find(WarehouseKey(w_id_), &w_slot);
+  Projection w_proj(db.warehouse, {W_NAME, W_YTD});
+  storage::ProjectedRow *w_row = w_proj.Reset();
+  if (!db.warehouse->Select(txn, w_slot, w_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  const auto w_ytd_idx =
+      static_cast<uint16_t>(w_row->ProjectionIndex(storage::col_id_t(W_YTD)));
+  Projection w_delta_proj(db.warehouse, {W_YTD});
+  storage::ProjectedRow *w_delta = w_delta_proj.Reset();
+  Set<double>(w_delta, 0, Get<double>(*w_row, w_ytd_idx) + amount);
+  if (!db.warehouse->Update(txn, w_slot, *w_delta)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // District: read name, bump ytd.
+  storage::TupleSlot d_slot;
+  db.district_pk->Find(DistrictKey(w_id_, d_id), &d_slot);
+  Projection d_proj(db.district, {D_NAME, D_YTD});
+  storage::ProjectedRow *d_row = d_proj.Reset();
+  if (!db.district->Select(txn, d_slot, d_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  const auto d_ytd_idx =
+      static_cast<uint16_t>(d_row->ProjectionIndex(storage::col_id_t(D_YTD)));
+  Projection d_delta_proj(db.district, {D_YTD});
+  storage::ProjectedRow *d_delta = d_delta_proj.Reset();
+  Set<double>(d_delta, 0, Get<double>(*d_row, d_ytd_idx) + amount);
+  if (!db.district->Update(txn, d_slot, *d_delta)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // Customer: by last name (60%) or id (40%).
+  storage::TupleSlot c_slot;
+  if (rng_.Uniform(1, 100) <= 60) {
+    const std::string last =
+        [&] {
+          // Scaled-down databases hold fewer than 1000 distinct last names.
+          const auto range =
+              static_cast<uint64_t>(std::min(1000, db.config.customers_per_district));
+          const auto num =
+              static_cast<int32_t>(rng_.NuRand(255, 0, 999, 123) % range);
+          static const char *kSyllables[] = {"BAR", "OUGHT", "ABLE",  "PRI",   "PRES",
+                                             "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+          return std::string(kSyllables[num / 100]) + kSyllables[(num / 10) % 10] +
+                 kSyllables[num % 10];
+        }();
+    std::vector<storage::TupleSlot> matches;
+    db.customer_name_idx->ScanAscending(CustomerNameKey(c_w_id, c_d_id, last, "", 0),
+                                        CustomerNameKey(c_w_id, c_d_id, last + "\x7f", "", 0),
+                                        0, &matches);
+    if (matches.empty()) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    c_slot = matches[matches.size() / 2];  // spec: middle match by first name
+  } else {
+    const auto c_id = static_cast<int32_t>(
+        rng_.NuRand(1023, 1, static_cast<uint64_t>(db.config.customers_per_district), 259));
+    if (!db.customer_pk->Find(CustomerKey(c_w_id, c_d_id, c_id), &c_slot)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+  }
+
+  Projection c_proj(db.customer,
+                    {C_ID, C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT, C_CREDIT, C_DATA});
+  storage::ProjectedRow *c_row = c_proj.Reset();
+  if (!db.customer->Select(txn, c_slot, c_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  const auto bal_idx =
+      static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_BALANCE)));
+  const auto ytd_idx =
+      static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_YTD_PAYMENT)));
+  const auto cnt_idx =
+      static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_PAYMENT_CNT)));
+  const auto credit_idx =
+      static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_CREDIT)));
+  const auto data_idx =
+      static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_DATA)));
+  const auto id_idx = static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_ID)));
+  const bool bad_credit = GetVarchar(*c_row, credit_idx) == "BC";
+  // Build the delta: fixed-length columns always; c_data only for bad-credit
+  // customers, as a freshly allocated value (varlen values in a delta
+  // transfer ownership to the version chain).
+  std::vector<uint16_t> delta_cols = {C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT};
+  if (bad_credit) delta_cols.push_back(C_DATA);
+  Projection c_delta_proj(db.customer, delta_cols);
+  storage::ProjectedRow *c_delta = c_delta_proj.Reset();
+  Set<double>(c_delta,
+              static_cast<uint16_t>(c_delta->ProjectionIndex(storage::col_id_t(C_BALANCE))),
+              Get<double>(*c_row, bal_idx) - amount);
+  Set<double>(c_delta,
+              static_cast<uint16_t>(c_delta->ProjectionIndex(storage::col_id_t(C_YTD_PAYMENT))),
+              Get<double>(*c_row, ytd_idx) + amount);
+  Set<int16_t>(c_delta,
+               static_cast<uint16_t>(c_delta->ProjectionIndex(storage::col_id_t(C_PAYMENT_CNT))),
+               static_cast<int16_t>(Get<int16_t>(*c_row, cnt_idx) + 1));
+  if (bad_credit) {
+    // Bad credit: prepend payment info to c_data (truncated to 500).
+    std::string data = std::to_string(Get<int32_t>(*c_row, id_idx)) + "," +
+                       std::to_string(amount) + ";" + std::string(GetVarchar(*c_row, data_idx));
+    if (data.size() > 500) data.resize(500);
+    SetVarchar(c_delta,
+               static_cast<uint16_t>(c_delta->ProjectionIndex(storage::col_id_t(C_DATA))),
+               data);
+  }
+  if (!db.customer->Update(txn, c_slot, *c_delta)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // History insert.
+  Projection h_proj(db.history);
+  storage::ProjectedRow *h_row = h_proj.Reset();
+  Set<int32_t>(h_row, H_C_ID, Get<int32_t>(*c_row, id_idx));
+  Set<int32_t>(h_row, H_C_D_ID, c_d_id);
+  Set<int32_t>(h_row, H_C_W_ID, c_w_id);
+  Set<int32_t>(h_row, H_D_ID, d_id);
+  Set<int32_t>(h_row, H_W_ID, w_id_);
+  Set<uint64_t>(h_row, H_DATE, txn->StartTime());
+  Set<double>(h_row, H_AMOUNT, amount);
+  SetVarchar(h_row, H_DATA, "payment history");
+  db.history->Insert(txn, *h_row);
+
+  txn_manager_->Commit(txn);
+  return true;
+}
+
+bool Worker::OrderStatusTxn() {
+  Database &db = *db_;
+  const auto d_id = static_cast<int32_t>(rng_.Uniform(1, db.config.districts_per_warehouse));
+  const auto c_id = static_cast<int32_t>(
+      rng_.NuRand(1023, 1, static_cast<uint64_t>(db.config.customers_per_district), 259));
+
+  auto *txn = txn_manager_->BeginTransaction();
+
+  storage::TupleSlot c_slot;
+  if (!db.customer_pk->Find(CustomerKey(w_id_, d_id, c_id), &c_slot)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  Projection c_proj(db.customer, {C_BALANCE, C_FIRST, C_MIDDLE, C_LAST});
+  if (!db.customer->Select(txn, c_slot, c_proj.Reset())) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+
+  // Newest order of the customer.
+  std::vector<storage::TupleSlot> orders;
+  db.order_customer_idx->ScanDescending(
+      OrderCustomerKey(w_id_, d_id, c_id, 0),
+      OrderCustomerKey(w_id_, d_id, c_id, INT32_MAX), 8, &orders);
+  Projection o_proj(db.order, {O_ID, O_ENTRY_D, O_CARRIER_ID, O_OL_CNT});
+  int32_t o_id = -1;
+  int32_t ol_cnt = 0;
+  for (const storage::TupleSlot slot : orders) {
+    storage::ProjectedRow *o_row = o_proj.Reset();
+    if (!db.order->Select(txn, slot, o_row)) continue;  // skip dead index entries
+    o_id = Get<int32_t>(*o_row,
+                        static_cast<uint16_t>(o_row->ProjectionIndex(storage::col_id_t(O_ID))));
+    ol_cnt = Get<int8_t>(
+        *o_row, static_cast<uint16_t>(o_row->ProjectionIndex(storage::col_id_t(O_OL_CNT))));
+    break;
+  }
+  if (o_id >= 0) {
+    std::vector<storage::TupleSlot> lines;
+    db.order_line_pk->ScanAscending(OrderLineKey(w_id_, d_id, o_id, 0),
+                                    OrderLineKey(w_id_, d_id, o_id, INT32_MAX), 0, &lines);
+    Projection ol_proj(db.order_line,
+                       {OL_I_ID, OL_SUPPLY_W_ID, OL_QUANTITY, OL_AMOUNT, OL_DELIVERY_D});
+    for (const storage::TupleSlot slot : lines) {
+      db.order_line->Select(txn, slot, ol_proj.Reset());
+    }
+    (void)ol_cnt;
+  }
+
+  txn_manager_->Commit(txn);
+  return true;
+}
+
+bool Worker::DeliveryTxn() {
+  Database &db = *db_;
+  const auto carrier = static_cast<int32_t>(rng_.Uniform(1, 10));
+  auto *txn = txn_manager_->BeginTransaction();
+
+  for (int32_t d_id = 1; d_id <= db.config.districts_per_warehouse; d_id++) {
+    // Oldest undelivered order in the district.
+    std::vector<storage::TupleSlot> candidates;
+    db.new_order_pk->ScanAscending(NewOrderKey(w_id_, d_id, 0),
+                                   NewOrderKey(w_id_, d_id, INT32_MAX), 4, &candidates);
+    Projection no_proj(db.new_order, {NO_O_ID});
+    int32_t o_id = -1;
+    storage::TupleSlot no_slot;
+    for (const storage::TupleSlot slot : candidates) {
+      storage::ProjectedRow *no_row = no_proj.Reset();
+      if (!db.new_order->Select(txn, slot, no_row)) continue;
+      o_id = Get<int32_t>(*no_row, 0);
+      no_slot = slot;
+      break;
+    }
+    if (o_id < 0) continue;  // district fully delivered
+
+    if (!db.new_order->Delete(txn, no_slot)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    db.new_order_pk->Delete(NewOrderKey(w_id_, d_id, o_id));
+
+    // Order: fetch customer, stamp carrier.
+    storage::TupleSlot o_slot;
+    if (!db.order_pk->Find(OrderKey(w_id_, d_id, o_id), &o_slot)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    Projection o_proj(db.order, {O_C_ID, O_CARRIER_ID});
+    storage::ProjectedRow *o_row = o_proj.Reset();
+    if (!db.order->Select(txn, o_slot, o_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    const int32_t c_id = Get<int32_t>(
+        *o_row, static_cast<uint16_t>(o_row->ProjectionIndex(storage::col_id_t(O_C_ID))));
+    Set<int32_t>(o_row,
+                 static_cast<uint16_t>(o_row->ProjectionIndex(storage::col_id_t(O_CARRIER_ID))),
+                 carrier);
+    if (!db.order->Update(txn, o_slot, *o_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+
+    // Order lines: stamp delivery date, sum amounts.
+    std::vector<storage::TupleSlot> lines;
+    db.order_line_pk->ScanAscending(OrderLineKey(w_id_, d_id, o_id, 0),
+                                    OrderLineKey(w_id_, d_id, o_id, INT32_MAX), 0, &lines);
+    Projection ol_proj(db.order_line, {OL_AMOUNT, OL_DELIVERY_D});
+    double total = 0;
+    for (const storage::TupleSlot slot : lines) {
+      storage::ProjectedRow *ol_row = ol_proj.Reset();
+      if (!db.order_line->Select(txn, slot, ol_row)) continue;
+      total += Get<double>(*ol_row, static_cast<uint16_t>(ol_row->ProjectionIndex(
+                                        storage::col_id_t(OL_AMOUNT))));
+      Set<uint64_t>(ol_row,
+                    static_cast<uint16_t>(
+                        ol_row->ProjectionIndex(storage::col_id_t(OL_DELIVERY_D))),
+                    txn->StartTime());
+      if (!db.order_line->Update(txn, slot, *ol_row)) {
+        txn_manager_->Abort(txn);
+        return false;
+      }
+    }
+
+    // Customer: add amount, bump delivery count.
+    storage::TupleSlot c_slot;
+    db.customer_pk->Find(CustomerKey(w_id_, d_id, c_id), &c_slot);
+    Projection c_proj(db.customer, {C_BALANCE, C_DELIVERY_CNT});
+    storage::ProjectedRow *c_row = c_proj.Reset();
+    if (!db.customer->Select(txn, c_slot, c_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+    const auto bal_idx =
+        static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_BALANCE)));
+    const auto cnt_idx =
+        static_cast<uint16_t>(c_row->ProjectionIndex(storage::col_id_t(C_DELIVERY_CNT)));
+    Set<double>(c_row, bal_idx, Get<double>(*c_row, bal_idx) + total);
+    Set<int16_t>(c_row, cnt_idx, static_cast<int16_t>(Get<int16_t>(*c_row, cnt_idx) + 1));
+    if (!db.customer->Update(txn, c_slot, *c_row)) {
+      txn_manager_->Abort(txn);
+      return false;
+    }
+  }
+
+  txn_manager_->Commit(txn);
+  return true;
+}
+
+bool Worker::StockLevelTxn() {
+  Database &db = *db_;
+  const auto d_id = static_cast<int32_t>(rng_.Uniform(1, db.config.districts_per_warehouse));
+  const auto threshold = static_cast<int16_t>(rng_.Uniform(10, 20));
+  auto *txn = txn_manager_->BeginTransaction();
+
+  storage::TupleSlot d_slot;
+  db.district_pk->Find(DistrictKey(w_id_, d_id), &d_slot);
+  Projection d_proj(db.district, {D_NEXT_O_ID});
+  storage::ProjectedRow *d_row = d_proj.Reset();
+  if (!db.district->Select(txn, d_slot, d_row)) {
+    txn_manager_->Abort(txn);
+    return false;
+  }
+  const int32_t next_o_id = Get<int32_t>(*d_row, 0);
+
+  // Distinct items in the last 20 orders with stock below the threshold.
+  std::vector<storage::TupleSlot> lines;
+  db.order_line_pk->ScanAscending(
+      OrderLineKey(w_id_, d_id, std::max(1, next_o_id - 20), 0),
+      OrderLineKey(w_id_, d_id, next_o_id, INT32_MAX), 0, &lines);
+  Projection ol_proj(db.order_line, {OL_I_ID});
+  Projection s_proj(db.stock, {S_QUANTITY});
+  std::unordered_set<int32_t> low_stock;
+  for (const storage::TupleSlot slot : lines) {
+    storage::ProjectedRow *ol_row = ol_proj.Reset();
+    if (!db.order_line->Select(txn, slot, ol_row)) continue;
+    const int32_t i_id = Get<int32_t>(*ol_row, 0);
+    storage::TupleSlot s_slot;
+    if (!db.stock_pk->Find(StockKey(w_id_, i_id), &s_slot)) continue;
+    storage::ProjectedRow *s_row = s_proj.Reset();
+    if (!db.stock->Select(txn, s_slot, s_row)) continue;
+    if (Get<int16_t>(*s_row, 0) < threshold) low_stock.insert(i_id);
+  }
+
+  txn_manager_->Commit(txn);
+  return true;
+}
+
+}  // namespace mainline::workload::tpcc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rand_util.h"
+#include "transaction/transaction_manager.h"
+#include "workload/tpcc/tpcc_db.h"
+
+namespace mainline::workload::tpcc {
+
+/// Per-worker transaction counters.
+struct WorkerStats {
+  uint64_t new_order_committed = 0;
+  uint64_t payment_committed = 0;
+  uint64_t order_status_committed = 0;
+  uint64_t delivery_committed = 0;
+  uint64_t stock_level_committed = 0;
+  uint64_t aborted = 0;
+
+  uint64_t TotalCommitted() const {
+    return new_order_committed + payment_committed + order_status_committed +
+           delivery_committed + stock_level_committed;
+  }
+};
+
+/// A TPC-C terminal: executes the standard transaction mix (45% NewOrder,
+/// 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel) against its home
+/// warehouse, the paper's one-warehouse-per-client setup.
+class Worker {
+ public:
+  Worker(Database *db, transaction::TransactionManager *txn_manager, int32_t home_w_id,
+         uint64_t seed)
+      : db_(db), txn_manager_(txn_manager), w_id_(home_w_id), rng_(seed) {}
+
+  /// Execute one transaction from the mix.
+  /// \return true if it committed.
+  bool RunOne();
+
+  /// Individual procedures (public for targeted tests).
+  bool NewOrderTxn();
+  bool PaymentTxn();
+  bool OrderStatusTxn();
+  bool DeliveryTxn();
+  bool StockLevelTxn();
+
+  const WorkerStats &Stats() const { return stats_; }
+
+ private:
+  Database *db_;
+  transaction::TransactionManager *txn_manager_;
+  int32_t w_id_;
+  common::Xorshift rng_;
+  WorkerStats stats_;
+};
+
+}  // namespace mainline::workload::tpcc

@@ -1,0 +1,83 @@
+#include "workload/tpch/lineitem.h"
+
+#include <vector>
+
+#include "workload/row_util.h"
+
+namespace mainline::workload::tpch {
+
+using catalog::TypeId;
+
+catalog::Schema LineItemSchema() {
+  return catalog::Schema({
+      {"l_orderkey", TypeId::kBigInt},
+      {"l_partkey", TypeId::kBigInt},
+      {"l_suppkey", TypeId::kBigInt},
+      {"l_linenumber", TypeId::kInteger},
+      {"l_quantity", TypeId::kDecimal},
+      {"l_extendedprice", TypeId::kDecimal},
+      {"l_discount", TypeId::kDecimal},
+      {"l_tax", TypeId::kDecimal},
+      {"l_returnflag", TypeId::kVarchar},
+      {"l_linestatus", TypeId::kVarchar},
+      {"l_shipdate", TypeId::kDate},
+      {"l_commitdate", TypeId::kDate},
+      {"l_receiptdate", TypeId::kDate},
+      {"l_shipinstruct", TypeId::kVarchar},
+      {"l_shipmode", TypeId::kVarchar},
+      {"l_comment", TypeId::kVarchar},
+  });
+}
+
+storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
+                                    transaction::TransactionManager *txn_manager,
+                                    uint64_t num_rows, uint64_t seed) {
+  static const char *kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                                        "TAKE BACK RETURN"};
+  static const char *kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  static const char *kFlags[] = {"R", "A", "N"};
+
+  storage::SqlTable *table =
+      catalog->GetTable(catalog->CreateTable("lineitem", LineItemSchema()));
+  common::Xorshift rng(seed);
+  const storage::ProjectedRowInitializer initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  uint64_t orderkey = 1;
+  int32_t linenumber = 1;
+  transaction::TransactionContext *txn = txn_manager->BeginTransaction();
+  for (uint64_t i = 0; i < num_rows; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    Set<int64_t>(row, L_ORDERKEY, static_cast<int64_t>(orderkey));
+    Set<int64_t>(row, L_PARTKEY, static_cast<int64_t>(rng.Uniform(1, 200000)));
+    Set<int64_t>(row, L_SUPPKEY, static_cast<int64_t>(rng.Uniform(1, 10000)));
+    Set<int32_t>(row, L_LINENUMBER, linenumber);
+    Set<double>(row, L_QUANTITY, static_cast<double>(rng.Uniform(1, 50)));
+    Set<double>(row, L_EXTENDEDPRICE, static_cast<double>(rng.Uniform(1000, 100000)) / 100.0);
+    Set<double>(row, L_DISCOUNT, static_cast<double>(rng.Uniform(0, 10)) / 100.0);
+    Set<double>(row, L_TAX, static_cast<double>(rng.Uniform(0, 8)) / 100.0);
+    SetVarchar(row, L_RETURNFLAG, kFlags[rng.Uniform(0, 2)]);
+    SetVarchar(row, L_LINESTATUS, rng.Uniform(0, 1) == 0 ? "O" : "F");
+    const auto ship = static_cast<uint32_t>(rng.Uniform(8000, 10500));
+    Set<uint32_t>(row, L_SHIPDATE, ship);
+    Set<uint32_t>(row, L_COMMITDATE, ship + static_cast<uint32_t>(rng.Uniform(1, 60)));
+    Set<uint32_t>(row, L_RECEIPTDATE, ship + static_cast<uint32_t>(rng.Uniform(1, 30)));
+    SetVarchar(row, L_SHIPINSTRUCT, kInstructions[rng.Uniform(0, 3)]);
+    SetVarchar(row, L_SHIPMODE, kModes[rng.Uniform(0, 6)]);
+    SetVarchar(row, L_COMMENT, rng.AlphaString(10, 43));
+    table->Insert(txn, *row);
+
+    if (++linenumber > 7 || rng.Uniform(0, 2) == 0) {
+      orderkey++;
+      linenumber = 1;
+    }
+    if ((i + 1) % 10000 == 0) {
+      txn_manager->Commit(txn);
+      txn = txn_manager->BeginTransaction();
+    }
+  }
+  txn_manager->Commit(txn);
+  return table;
+}
+
+}  // namespace mainline::workload::tpch

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::workload::tpch {
+
+/// Column positions of the TPC-H LINEITEM table.
+enum LineItem : uint16_t {
+  L_ORDERKEY = 0,
+  L_PARTKEY,
+  L_SUPPKEY,
+  L_LINENUMBER,
+  L_QUANTITY,
+  L_EXTENDEDPRICE,
+  L_DISCOUNT,
+  L_TAX,
+  L_RETURNFLAG,
+  L_LINESTATUS,
+  L_SHIPDATE,
+  L_COMMITDATE,
+  L_RECEIPTDATE,
+  L_SHIPINSTRUCT,
+  L_SHIPMODE,
+  L_COMMENT,
+};
+
+/// Schema of LINEITEM (types mapped onto the engine's type system).
+catalog::Schema LineItemSchema();
+
+/// Deterministic dbgen-style generator for the Figure 1 motivation
+/// experiment. `num_rows` rows are inserted in batches of one transaction per
+/// 10k rows.
+/// \return the populated table.
+storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
+                                    transaction::TransactionManager *txn_manager,
+                                    uint64_t num_rows, uint64_t seed = 7);
+
+}  // namespace mainline::workload::tpch

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "catalog/catalog.h"
+#include "common/object_pool.h"
+#include "gc/garbage_collector.h"
+#include "index/bplus_tree.h"
+#include "transform/transform_pipeline.h"
+#include "workload/row_util.h"
+
+namespace mainline {
+
+// ---------------------------------------------------------------------------
+// Deferred actions (the epoch-protection generalization of Section 4.4).
+// ---------------------------------------------------------------------------
+
+TEST(DeferredActionTest, RunsOnlyAfterOverlappingTxnsFinish) {
+  storage::RecordBufferSegmentPool pool(1000, 100);
+  transaction::TransactionManager txn_manager(&pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+
+  auto *overlapping = txn_manager.BeginTransaction();
+  std::atomic<bool> ran{false};
+  gc.RegisterDeferredAction([&] { ran.store(true); });
+
+  gc.PerformGarbageCollection();
+  gc.PerformGarbageCollection();
+  EXPECT_FALSE(ran.load()) << "action must wait for the overlapping transaction";
+
+  txn_manager.Commit(overlapping);
+  gc.PerformGarbageCollection();
+  EXPECT_TRUE(ran.load());
+  gc.FullGC();
+}
+
+TEST(DeferredActionTest, ActionsRunInRegistrationOrderAcrossEpochs) {
+  storage::RecordBufferSegmentPool pool(1000, 100);
+  transaction::TransactionManager txn_manager(&pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+  std::vector<int> order;
+  gc.RegisterDeferredAction([&] { order.push_back(1); });
+  gc.RegisterDeferredAction([&] { order.push_back(2); });
+  gc.FullGC();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+// ---------------------------------------------------------------------------
+// Object pool.
+// ---------------------------------------------------------------------------
+
+TEST(ObjectPoolTest, ReusesAndCapsObjects) {
+  storage::RecordBufferSegmentPool pool(2, 1);  // at most 2 live, cache 1
+  auto *a = pool.Get();
+  auto *b = pool.Get();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.Get(), nullptr) << "size limit reached";
+  pool.Release(a);
+  auto *c = pool.Get();
+  EXPECT_EQ(c, a) << "released object is reused";
+  pool.Release(b);
+  pool.Release(c);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, TablesAndIndexesByNameAndOid) {
+  storage::BlockStore store(10, 10);
+  catalog::Catalog catalog(&store);
+  const catalog::Schema schema({{"k", catalog::TypeId::kBigInt}});
+  const catalog::table_oid_t oid = catalog.CreateTable("t1", schema);
+  EXPECT_NE(catalog.GetTable(oid), nullptr);
+  EXPECT_EQ(catalog.GetTable("t1"), catalog.GetTable(oid));
+  EXPECT_EQ(catalog.GetTableOid("t1"), oid);
+  EXPECT_EQ(catalog.GetTable("missing"), nullptr);
+  EXPECT_EQ(catalog.GetTableOid("missing"), catalog::table_oid_t(0));
+
+  catalog.RegisterIndex("t1_pk", oid, std::make_unique<index::BPlusTree>());
+  EXPECT_NE(catalog.GetIndex("t1_pk"), nullptr);
+  EXPECT_EQ(catalog.GetIndex("nope"), nullptr);
+  EXPECT_EQ(catalog.TableMap().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Access observer + pipeline: cold detection end to end.
+// ---------------------------------------------------------------------------
+
+TEST(AccessObserverTest, DetectsColdBlocksAfterThresholdEpochs) {
+  storage::BlockStore store(100, 10);
+  storage::RecordBufferSegmentPool pool(100000, 100);
+  catalog::Catalog catalog(&store);
+  transaction::TransactionManager txn_manager(&pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+  transform::AccessObserver observer(3);
+  gc.SetAccessObserver(&observer);
+
+  auto *table = catalog.GetTable(
+      catalog.CreateTable("t", catalog::Schema({{"v", catalog::TypeId::kBigInt}})));
+  const auto initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  auto *txn = txn_manager.BeginTransaction();
+  storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+  workload::Set<int64_t>(row, 0, 1);
+  table->Insert(txn, *row);
+  txn_manager.Commit(txn);
+
+  gc.PerformGarbageCollection();  // drains the txn, observes the write
+  EXPECT_EQ(observer.WatchedBlocks(), 1u);
+  EXPECT_TRUE(observer.CollectColdBlocks().empty()) << "not cold yet";
+
+  // Not enough epochs yet.
+  gc.PerformGarbageCollection();
+  EXPECT_TRUE(observer.CollectColdBlocks().empty());
+
+  // Past the threshold: emitted exactly once, leaves the watch set.
+  gc.PerformGarbageCollection();
+  gc.PerformGarbageCollection();
+  auto cold = observer.CollectColdBlocks();
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_EQ(cold[0].second, &table->UnderlyingTable());
+  EXPECT_EQ(observer.WatchedBlocks(), 0u);
+
+  // A new write re-enters the block into the watch set.
+  auto *txn2 = txn_manager.BeginTransaction();
+  storage::ProjectedRow *row2 = initializer.InitializeRow(buffer.data());
+  workload::Set<int64_t>(row2, 0, 2);
+  table->Insert(txn2, *row2);
+  txn_manager.Commit(txn2);
+  gc.PerformGarbageCollection();
+  EXPECT_EQ(observer.WatchedBlocks(), 1u);
+  gc.SetAccessObserver(nullptr);
+  gc.FullGC();
+}
+
+TEST(TransformPipelineTest, FreezesColdBlocksEndToEnd) {
+  storage::BlockStore store(100, 10);
+  storage::RecordBufferSegmentPool pool(100000, 100);
+  catalog::Catalog catalog(&store);
+  transaction::TransactionManager txn_manager(&pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+  transform::AccessObserver observer(1);
+  gc.SetAccessObserver(&observer);
+
+  auto *table = catalog.GetTable(
+      catalog.CreateTable("t", catalog::Schema({{"v", catalog::TypeId::kBigInt},
+                                                {"s", catalog::TypeId::kVarchar}})));
+  const auto initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  auto *txn = txn_manager.BeginTransaction();
+  for (int64_t i = 0; i < 500; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    workload::Set<int64_t>(row, 0, i);
+    workload::SetVarchar(row, 1, "some-longer-string-" + std::to_string(i));
+    table->Insert(txn, *row);
+  }
+  txn_manager.Commit(txn);
+
+  transform::BlockTransformer transformer(&txn_manager, &gc);
+  transform::TransformPipeline pipeline(&observer, &transformer, 10);
+
+  // Drive GC epochs past the threshold, then one pipeline pass freezes.
+  gc.PerformGarbageCollection();
+  gc.PerformGarbageCollection();
+  gc.PerformGarbageCollection();
+  const uint32_t frozen = pipeline.RunOnce();
+  EXPECT_EQ(frozen, table->UnderlyingTable().NumBlocks());
+  for (auto *block : table->UnderlyingTable().Blocks()) {
+    EXPECT_EQ(block->controller.GetState(), storage::BlockState::kFrozen);
+  }
+  gc.SetAccessObserver(nullptr);
+  gc.FullGC();
+}
+
+}  // namespace mainline

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rand_util.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+
+namespace mainline {
+
+using index::BPlusTree;
+using index::HashIndex;
+using index::IndexKey;
+using storage::TupleSlot;
+
+namespace {
+IndexKey Key(int64_t k) { return IndexKey().AddSigned(k); }
+TupleSlot Slot(uint64_t v) { return TupleSlot::FromRawBytes(v << 20); }
+}  // namespace
+
+TEST(IndexKeyTest, OrderPreservingEncodings) {
+  // Signed ints across the negative/positive boundary.
+  EXPECT_LT(Key(-5), Key(-1));
+  EXPECT_LT(Key(-1), Key(0));
+  EXPECT_LT(Key(0), Key(1));
+  EXPECT_LT(Key(1), Key(INT64_MAX));
+  EXPECT_LT(Key(INT64_MIN), Key(-1));
+  // Unsigned big-endian.
+  EXPECT_LT(IndexKey().AddUnsigned<uint32_t>(1), IndexKey().AddUnsigned<uint32_t>(256));
+  // Strings pad with zeros; composite ordering is field-major.
+  EXPECT_LT(IndexKey().AddString("ABLE", 8).AddSigned<int32_t>(9),
+            IndexKey().AddString("BAR", 8).AddSigned<int32_t>(1));
+  EXPECT_LT(IndexKey().AddString("BAR", 8), IndexKey().AddString("BARN", 8));
+}
+
+/// Model-based test: a B+-tree must agree with std::map over a random
+/// workload of inserts, deletes, lookups and range scans.
+TEST(BPlusTreeTest, AgreesWithStdMap) {
+  BPlusTree tree;
+  std::map<int64_t, uint64_t> model;
+  common::Xorshift rng(1234);
+
+  for (int op = 0; op < 50000; op++) {
+    const auto k = static_cast<int64_t>(rng.Uniform(0, 5000));
+    switch (rng.Uniform(0, 3)) {
+      case 0: {  // insert
+        const bool inserted = tree.Insert(Key(k), Slot(static_cast<uint64_t>(op)));
+        const bool model_inserted =
+            model.emplace(k, static_cast<uint64_t>(op)).second;
+        ASSERT_EQ(inserted, model_inserted) << "insert mismatch at key " << k;
+        break;
+      }
+      case 1: {  // delete
+        ASSERT_EQ(tree.Delete(Key(k)), model.erase(k) > 0) << "delete mismatch at " << k;
+        break;
+      }
+      case 2: {  // point lookup
+        TupleSlot found;
+        const auto it = model.find(k);
+        ASSERT_EQ(tree.Find(Key(k), &found), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(found, Slot(it->second));
+        }
+        break;
+      }
+      default: {  // range scan
+        const int64_t lo = k, hi = k + static_cast<int64_t>(rng.Uniform(0, 200));
+        std::vector<TupleSlot> scan;
+        tree.ScanAscending(Key(lo), Key(hi), 0, &scan);
+        std::vector<TupleSlot> expected;
+        for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi; ++it) {
+          expected.push_back(Slot(it->second));
+        }
+        ASSERT_EQ(scan, expected) << "scan mismatch for [" << lo << ", " << hi << "]";
+      }
+    }
+  }
+  EXPECT_EQ(tree.Size(), model.size());
+}
+
+TEST(BPlusTreeTest, DescendingScanWithLimit) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 1000; i++) tree.Insert(Key(i), Slot(static_cast<uint64_t>(i)));
+  std::vector<TupleSlot> result;
+  tree.ScanDescending(Key(100), Key(200), 3, &result);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], Slot(200));
+  EXPECT_EQ(result[1], Slot(199));
+  EXPECT_EQ(result[2], Slot(198));
+}
+
+TEST(BPlusTreeTest, GrowsPastManySplits) {
+  BPlusTree tree;
+  constexpr int64_t kKeys = 200000;
+  for (int64_t i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(tree.Insert(Key(i * 7 % kKeys), Slot(static_cast<uint64_t>(i))));
+  }
+  EXPECT_EQ(tree.Size(), static_cast<uint64_t>(kKeys));
+  EXPECT_GT(tree.Height(), 2u);
+  // Everything findable.
+  common::Xorshift rng(9);
+  for (int i = 0; i < 1000; i++) {
+    TupleSlot found;
+    ASSERT_TRUE(tree.Find(Key(static_cast<int64_t>(rng.Uniform(0, kKeys - 1))), &found));
+  }
+}
+
+/// Concurrency: disjoint key ranges inserted in parallel, then everything
+/// must be present and ordered; readers scan while writers insert.
+TEST(BPlusTreeTest, ConcurrentInsertsAndScans) {
+  BPlusTree tree;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int64_t i = 0; i < kPerThread; i++) {
+        const int64_t k = t * kPerThread + i;
+        ASSERT_TRUE(tree.Insert(Key(k), Slot(static_cast<uint64_t>(k))));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      std::vector<TupleSlot> result;
+      tree.ScanAscending(Key(0), Key(kThreads * kPerThread), 0, &result);
+      // Results must be sorted (consistency of leaf chain under splits).
+      for (size_t i = 1; i < result.size(); i++) {
+        ASSERT_LE(result[i - 1].RawBytes(), result[i].RawBytes());
+      }
+    }
+  });
+  for (auto &thread : threads) thread.join();
+  stop.store(true);
+  scanner.join();
+
+  EXPECT_EQ(tree.Size(), static_cast<uint64_t>(kThreads * kPerThread));
+  std::vector<TupleSlot> all;
+  tree.ScanAscending(Key(0), Key(kThreads * kPerThread), 0, &all);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (int64_t i = 0; i < kThreads * kPerThread; i++) {
+    ASSERT_EQ(all[static_cast<size_t>(i)], Slot(static_cast<uint64_t>(i)));
+  }
+}
+
+TEST(HashIndexTest, BasicAndOverwrite) {
+  HashIndex idx;
+  EXPECT_TRUE(idx.Insert(Key(1), Slot(10)));
+  EXPECT_FALSE(idx.Insert(Key(1), Slot(11)));  // duplicate
+  idx.InsertOverwrite(Key(1), Slot(12));
+  TupleSlot found;
+  ASSERT_TRUE(idx.Find(Key(1), &found));
+  EXPECT_EQ(found, Slot(12));
+  EXPECT_TRUE(idx.Delete(Key(1)));
+  EXPECT_FALSE(idx.Delete(Key(1)));
+  EXPECT_FALSE(idx.Find(Key(1), &found));
+}
+
+TEST(HashIndexTest, ConcurrentMixedOps) {
+  HashIndex idx;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      common::Xorshift rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < 20000; i++) {
+        const auto k = static_cast<int64_t>(t * 100000 + i);
+        ASSERT_TRUE(idx.Insert(Key(k), Slot(static_cast<uint64_t>(k))));
+        TupleSlot found;
+        ASSERT_TRUE(idx.Find(Key(k), &found));
+        if (rng.Uniform(0, 1) == 0) {
+          ASSERT_TRUE(idx.Delete(Key(k)));
+        }
+      }
+    });
+  }
+  for (auto &thread : threads) thread.join();
+}
+
+}  // namespace mainline
