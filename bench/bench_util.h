@@ -2,8 +2,9 @@
 
 // Shared scaffolding for the figure-reproduction benchmarks. Each bench
 // binary prints the same series the paper's figure reports; absolute numbers
-// depend on the host, the *shape* is the reproduction target (see
-// EXPERIMENTS.md).
+// depend on the host, the *shape* is the reproduction target. EXPERIMENTS.md
+// documents every binary and its knobs; scripts/run_benches.sh builds
+// Release and captures all reports as BENCH_<figure>.json.
 
 #include <chrono>
 #include <cstdio>

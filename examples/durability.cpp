@@ -16,7 +16,9 @@
 using namespace mainline;
 
 namespace {
-const char *kLogPath = "/tmp/mainline_durability_demo.log";
+// Relative to the working directory, so concurrent runs (e.g. two build
+// trees' smoke tests) don't clobber each other's log.
+const char *kLogPath = "mainline_durability_demo.log";
 
 catalog::Schema AccountsSchema() {
   return catalog::Schema({{"id", catalog::TypeId::kBigInt},

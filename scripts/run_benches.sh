@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Build the Release benchmarks and run every figure-reproduction binary,
+# capturing each one's report as BENCH_<name>.json in the output directory.
+#
+# Usage: scripts/run_benches.sh [output-dir]
+#
+# Knobs (environment variables understood by the bench binaries themselves,
+# e.g. row counts) pass straight through.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-bench"
+OUT_DIR="${1:-${REPO_ROOT}}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DMAINLINE_BUILD_TESTS=OFF \
+    -DMAINLINE_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j
+
+mkdir -p "${OUT_DIR}"
+
+for bench in "${BUILD_DIR}"/bench/figure*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "== running ${name} =="
+  start="$(date +%s.%N)"
+  status=0
+  output="$("${bench}" 2>&1)" || status=$?
+  end="$(date +%s.%N)"
+  # The report goes through stdin: verbose benches can exceed the kernel's
+  # per-environment-string limit, so only small scalars ride in env vars.
+  printf '%s' "${output}" | BENCH_NAME="${name}" BENCH_STATUS="${status}" \
+  BENCH_START="${start}" BENCH_END="${end}" \
+  python3 -c '
+import json, os, sys
+with open(sys.argv[1], "w") as f:
+    json.dump(
+        {
+            "name": os.environ["BENCH_NAME"],
+            "exit_code": int(os.environ["BENCH_STATUS"]),
+            "elapsed_seconds": round(
+                float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3
+            ),
+            "output": sys.stdin.read().splitlines(),
+        },
+        f,
+        indent=2,
+    )
+    f.write("\n")
+' "${OUT_DIR}/BENCH_${name}.json"
+  elapsed="$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.1f", b - a }')"
+  echo "   -> ${OUT_DIR}/BENCH_${name}.json (exit ${status}, ${elapsed}s)"
+done

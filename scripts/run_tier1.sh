@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run every ctest suite.
+# This is the command sequence ROADMAP.md and CI treat as the gate.
+#
+# Usage: scripts/run_tier1.sh [extra cmake args...]
+#   e.g. scripts/run_tier1.sh -DMAINLINE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "$@"
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"$(nproc)"

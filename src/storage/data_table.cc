@@ -1,5 +1,7 @@
 #include "storage/data_table.h"
 
+#include <algorithm>
+
 #include "storage/arrow_block_metadata.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
@@ -112,13 +114,19 @@ bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
     UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
     if (HasConflict(*txn, head)) {
       // Mark an already-reserved record as never-installed so rollback and
-      // GC skip it.
+      // GC skip it. The redo's varlens transfer to the transaction even on
+      // failure — the caller must abort (enforced in Commit), which frees
+      // them.
       if (undo != nullptr) undo->SetTableNull();
+      RegisterLooseVarlens(txn, redo);
+      txn->SetMustAbort();
       return false;
     }
     // A deleted (or not-yet-published) tuple cannot be updated.
     if (!accessor_.Allocated(slot)) {
       if (undo != nullptr) undo->SetTableNull();
+      RegisterLooseVarlens(txn, redo);
+      txn->SetMustAbort();
       return false;
     }
     if (undo == nullptr) undo = txn->UndoRecordForUpdate(this, slot, redo);
@@ -175,6 +183,10 @@ bool DataTable::InsertInto(transaction::TransactionContext *txn, TupleSlot dest,
     UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
     if (HasConflict(*txn, head) || accessor_.Allocated(dest)) {
       if (undo != nullptr) undo->SetTableNull();
+      // As in Update: ownership of the redo's varlens stays with the
+      // transaction, whose abort (enforced in Commit) reclaims them.
+      RegisterLooseVarlens(txn, redo);
+      txn->SetMustAbort();
       return false;
     }
     if (undo == nullptr) undo = txn->UndoRecordForInsert(this, dest);
@@ -239,16 +251,36 @@ RawBlock *DataTable::NewBlock() {
   return block;
 }
 
-void DataTable::ReleaseBlock(RawBlock *block) {
+bool DataTable::ScheduleBlockRelease(RawBlock *block) {
+  common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
+  if (std::find(blocks_.begin(), blocks_.end(), block) == blocks_.end()) return false;
+  return pending_release_.insert(block).second;
+}
+
+bool DataTable::ReleaseBlock(RawBlock *block) {
   {
     common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
-    std::erase(blocks_, block);
-    // Never release the active insertion block.
-    MAINLINE_ASSERT(insertion_block_.load(std::memory_order_acquire) != block,
-                    "cannot release the insertion block");
+    // Whatever happens below, the reservation is consumed: a declined
+    // release leaves the block attached and a later pass may reschedule it.
+    pending_release_.erase(block);
+    // Membership next, by pointer comparison only — never dereference a
+    // block that is no longer attached.
+    const auto it = std::find(blocks_.begin(), blocks_.end(), block);
+    if (it == blocks_.end()) return false;
+    // The active insertion block must stay attached even when the compactor
+    // emptied it: concurrent inserts are still allowed to claim slots from
+    // it. It simply remains in the table, empty, and fills up again.
+    if (insertion_block_.load(std::memory_order_acquire) == block) return false;
+    // The block may also have been refilled between the compactor emptying
+    // it and this deferred release (it was the insertion block in that
+    // window). Slots are never re-allocated once a block rolls over, so a
+    // block that is empty and not the insertion block stays empty.
+    if (FilledSlots(block) != 0) return false;
+    blocks_.erase(it);
   }
   delete block->arrow_metadata;
   block_store_->Release(block);
+  return true;
 }
 
 }  // namespace mainline::storage

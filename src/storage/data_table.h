@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <unordered_set>
 #include <vector>
 
 #include "common/macros.h"
@@ -132,9 +133,29 @@ class DataTable {
     return blocks_.size();
   }
 
+  /// Reserve the (single) pending release slot for `block` before deferring
+  /// a ReleaseBlock call. Callers must only register the deferred release
+  /// when this returns true, which keeps at most one release in flight per
+  /// block incarnation.
+  /// \return false if the block is not attached to this table or a release
+  ///         is already pending for it.
+  bool ScheduleBlockRelease(RawBlock *block);
+
   /// Detach an empty block from the table and return it to the block store.
-  /// Called by the compactor after it has emptied a block.
-  void ReleaseBlock(RawBlock *block);
+  /// Called by the compactor (via the GC's deferred-action queue) after it
+  /// has emptied a block and reserved the release with ScheduleBlockRelease.
+  /// Clears the pending-release reservation either way.
+  /// \return false if the block must stay attached: it is the table's active
+  ///         insertion block, it was refilled while the release was
+  ///         deferred, or it is no longer attached; true once the block has
+  ///         been returned to the store.
+  bool ReleaseBlock(RawBlock *block);
+
+  /// \return the block new inserts currently go to. Blocks only hand this
+  ///         role to a freshly allocated successor, never acquire it.
+  RawBlock *CurrentInsertionBlock() const {
+    return insertion_block_.load(std::memory_order_acquire);
+  }
 
   /// \return number of allocated (logically present) slots in `block`.
   uint32_t FilledSlots(RawBlock *block) const {
@@ -176,6 +197,11 @@ class DataTable {
   mutable common::SharedLatch blocks_latch_;
   std::vector<RawBlock *> blocks_;
   std::atomic<RawBlock *> insertion_block_;
+  // Blocks with a deferred release in flight (guarded by blocks_latch_).
+  // Scheduling is deduplicated here so at most one release exists per block
+  // incarnation — a stale second release could otherwise free a recycled
+  // block before the epoch protecting its readers has passed.
+  std::unordered_set<RawBlock *> pending_release_;
 };
 
 }  // namespace mainline::storage

@@ -75,6 +75,24 @@ class StorageUtil {
     }
   }
 
+  /// Replace every non-inlined varlen value in `row` with a freshly
+  /// allocated owned copy. Needed when a row read from one slot is written
+  /// to another: the delete/before-image keeps the original buffers, so the
+  /// new tuple needs its own (Section 4.4). The copies are reclaimed through
+  /// the writing transaction's loose-varlen list if it aborts.
+  static void DeepCopyVarlens(const BlockLayout &layout, ProjectedRow *row) {
+    for (uint16_t i = 0; i < row->NumColumns(); i++) {
+      if (!layout.IsVarlen(row->ColumnIds()[i])) continue;
+      byte *value = row->AccessWithNullCheck(i);
+      if (value == nullptr) continue;
+      auto *entry = reinterpret_cast<VarlenEntry *>(value);
+      if (entry->IsInlined()) continue;
+      auto *copy = new byte[entry->Size()];
+      std::memcpy(copy, entry->Content(), entry->Size());
+      *entry = VarlenEntry::Create(copy, entry->Size(), true);
+    }
+  }
+
   /// Free every owned out-of-line varlen buffer referenced by `delta`.
   /// Used by the GC when reclaiming undo records and by abort cleanup.
   static void DeallocateVarlensInDelta(const BlockLayout &layout, const ProjectedRow &delta) {

@@ -130,6 +130,15 @@ class TransactionContext {
     if (entry.NeedReclaim()) loose_varlens_.push_back(entry.Content());
   }
 
+  /// Flag the transaction as required to abort: set when a write failed
+  /// (write-write conflict), because the failed redo's varlens were handed
+  /// to this transaction and only Abort reclaims them. Commit asserts this
+  /// flag is clear.
+  void SetMustAbort() { must_abort_ = true; }
+
+  /// \return true if a failed write obligated this transaction to abort.
+  bool MustAbort() const { return must_abort_; }
+
  private:
   friend class TransactionManager;
   friend class DeferredActionManager;
@@ -146,6 +155,7 @@ class TransactionContext {
   std::vector<const byte *> loose_varlens_;
   bool aborted_ = false;
   bool logging_enabled_ = false;
+  bool must_abort_ = false;
 };
 
 }  // namespace mainline::transaction

@@ -1,5 +1,7 @@
 #include "transaction/transaction_manager.h"
 
+#include <algorithm>
+
 #include "logging/log_manager.h"
 #include "storage/data_table.h"
 #include "storage/storage_util.h"
@@ -37,6 +39,15 @@ timestamp_t TransactionManager::Commit(TransactionContext *txn,
                                        logging::CommitRecord::DurabilityCallback callback,
                                        void *callback_arg) {
   MAINLINE_ASSERT(!txn->aborted_, "cannot commit an aborted transaction");
+  // The contract is assert-enforced only: in NDEBUG builds a contract-
+  // violating commit leaks the failed redo's varlens rather than freeing
+  // them here, because loose_varlens_ cannot distinguish a failed write's
+  // orphaned buffers from installed, table-owned ones (a retry that
+  // succeeded registers the same buffer as table-owned) — freeing on this
+  // path could turn a bounded leak into a use-after-free.
+  MAINLINE_ASSERT(!txn->MustAbort(),
+                  "a transaction whose write failed must abort (its failed redo's varlens are "
+                  "reclaimed only by Abort)");
   timestamp_t commit_time;
   {
     // The small commit critical section of Section 3.1: obtain the commit
@@ -89,7 +100,13 @@ timestamp_t TransactionManager::Abort(TransactionContext *txn) {
     undo->Timestamp().store(abort_time, std::memory_order_release);
   }
   // New varlen values written by this transaction were orphaned by the
-  // rollback; uncommitted values are never visible, so free them now.
+  // rollback; uncommitted values are never visible, so free them now. A
+  // caller that retried a failed write with the same redo may have
+  // registered a buffer twice — dedup before freeing.
+  std::sort(txn->loose_varlens_.begin(), txn->loose_varlens_.end());
+  txn->loose_varlens_.erase(
+      std::unique(txn->loose_varlens_.begin(), txn->loose_varlens_.end()),
+      txn->loose_varlens_.end());
   for (const byte *varlen : txn->loose_varlens_) delete[] varlen;
   txn->loose_varlens_.clear();
   txn->aborted_ = true;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "storage/projected_row.h"
+#include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
 
 namespace mainline::transform {
@@ -23,16 +24,7 @@ uint64_t InPlaceTransform(transaction::TransactionManager *txn_manager,
     // Rewriting a tuple in place transactionally: varlen values must be
     // re-allocated because the update's before-image takes ownership of the
     // old buffers.
-    for (uint16_t i = 0; i < row->NumColumns(); i++) {
-      if (!layout.IsVarlen(row->ColumnIds()[i])) continue;
-      byte *value = row->AccessWithNullCheck(i);
-      if (value == nullptr) continue;
-      auto *entry = reinterpret_cast<storage::VarlenEntry *>(value);
-      if (entry->IsInlined()) continue;
-      auto *copy = new byte[entry->Size()];
-      std::memcpy(copy, entry->Content(), entry->Size());
-      *entry = storage::VarlenEntry::Create(copy, entry->Size(), true);
-    }
+    storage::StorageUtil::DeepCopyVarlens(layout, row);
     const bool updated = table->Update(txn, slot, *row);
     MAINLINE_ASSERT(updated, "in-place baseline assumes no concurrent writers");
     (void)updated;

@@ -13,30 +13,6 @@
 
 namespace mainline::transform {
 
-namespace {
-
-/// Replace every non-inlined varlen value in `row` with a freshly allocated
-/// owned copy. Required when moving tuples: the GC does not reason about
-/// ownership transfer between versions, so the delete record must keep the
-/// original buffer and the inserted tuple its own copy (Section 4.4).
-/// Collects the new allocations in `copies` so a failed move can free them.
-void DeepCopyVarlens(const storage::BlockLayout &layout, storage::ProjectedRow *row,
-                     std::vector<const byte *> *copies) {
-  for (uint16_t i = 0; i < row->NumColumns(); i++) {
-    if (!layout.IsVarlen(row->ColumnIds()[i])) continue;
-    byte *value = row->AccessWithNullCheck(i);
-    if (value == nullptr) continue;
-    auto *entry = reinterpret_cast<storage::VarlenEntry *>(value);
-    if (entry->IsInlined()) continue;
-    auto *buffer = new byte[entry->Size()];
-    std::memcpy(buffer, entry->Content(), entry->Size());
-    *entry = storage::VarlenEntry::Create(buffer, entry->Size(), true);
-    copies->push_back(buffer);
-  }
-}
-
-}  // namespace
-
 bool BlockTransformer::CompactGroup(storage::DataTable *table,
                                     const std::vector<storage::RawBlock *> &group,
                                     TransformStats *stats,
@@ -64,10 +40,10 @@ bool BlockTransformer::CompactGroup(storage::DataTable *table,
         failed = true;
         break;
       }
-      std::vector<const byte *> copies;
-      DeepCopyVarlens(table->GetLayout(), row, &copies);
+      storage::StorageUtil::DeepCopyVarlens(table->GetLayout(), row);
       if (!table->InsertInto(txn, to, *row)) {
-        for (const byte *copy : copies) delete[] copy;
+        // The copies are registered as the transaction's loose varlens even
+        // on failure; the abort below reclaims them.
         failed = true;
         break;
       }
@@ -87,10 +63,19 @@ bool BlockTransformer::CompactGroup(storage::DataTable *table,
       const transaction::timestamp_t commit_ts = txn_manager_->Commit(txn);
       if (commit_ts_out != nullptr) *commit_ts_out = commit_ts;
       // Emptied blocks are detached once every transaction that might still
-      // reconstruct their deleted tuples has finished.
-      for (storage::RawBlock *block : plan.emptied_blocks) {
-        gc_->RegisterDeferredAction([table, block] { table->ReleaseBlock(block); });
-        out->blocks_freed++;
+      // reconstruct their deleted tuples has finished. Blocks that entered
+      // the group already empty (user deletes, or a previous pass whose
+      // release was declined) are scheduled too; ScheduleBlockRelease
+      // guarantees at most one release in flight per block, and ReleaseBlock
+      // re-checks identity and emptiness at execution time, so a block that
+      // raced back into use is declined rather than freed.
+      for (const auto *list : {&plan.emptied_blocks, &plan.already_empty_blocks}) {
+        for (storage::RawBlock *block : *list) {
+          if (block == table->CurrentInsertionBlock()) continue;
+          if (!table->ScheduleBlockRelease(block)) continue;
+          gc_->RegisterDeferredAction([table, block] { table->ReleaseBlock(block); });
+          if (list == &plan.emptied_blocks) out->blocks_freed++;
+        }
       }
       if (survivors_out != nullptr) *survivors_out = plan.target_blocks;
       committed = true;

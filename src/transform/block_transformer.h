@@ -24,6 +24,10 @@ enum class GatherMode : uint8_t {
 /// benchmarks.
 struct TransformStats {
   uint64_t tuples_moved = 0;
+  /// Blocks emptied by compaction and scheduled for release. The deferred
+  /// release re-validates and can decline (insertion block, concurrent
+  /// refill), so in racy schedules this may overcount actual frees by the
+  /// number of declined blocks.
   uint64_t blocks_freed = 0;
   uint64_t blocks_frozen = 0;
   uint64_t compaction_aborts = 0;

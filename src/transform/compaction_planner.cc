@@ -102,7 +102,10 @@ CompactionPlan CompactionPlanner::Plan(const storage::DataTable &table,
     for (const uint32_t slot : infos[i].filled) {
       sources.emplace_back(infos[i].block, slot);
     }
-    plan.emptied_blocks.push_back(infos[i].block);
+    // Blocks that arrived empty (user deletes or an earlier pass) are
+    // reported separately: recyclable, but not emptied by this plan.
+    (infos[i].filled.empty() ? plan.already_empty_blocks : plan.emptied_blocks)
+        .push_back(infos[i].block);
   }
 
   MAINLINE_ASSERT(sources.size() == targets.size(),

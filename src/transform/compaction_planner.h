@@ -18,8 +18,14 @@ struct CompactionPlan {
   std::vector<std::pair<storage::TupleSlot, storage::TupleSlot>> moves;
   /// Blocks that hold tuples in the final state (F ∪ {p}).
   std::vector<storage::RawBlock *> target_blocks;
-  /// Blocks that end up empty and can be recycled (E).
+  /// Blocks this plan's moves empty out, to be recycled by the executor (E).
   std::vector<storage::RawBlock *> emptied_blocks;
+  /// Blocks that were already empty when the plan was made (user deletes
+  /// emptied them, or an earlier pass did and its release was declined or
+  /// is still in flight). Recyclable, but not an accomplishment of this
+  /// plan's moves; the executor schedules them through the table's
+  /// pending-release gate, which dedups against an in-flight release.
+  std::vector<storage::RawBlock *> already_empty_blocks;
   /// Total live tuples in the group.
   uint32_t total_tuples = 0;
 };

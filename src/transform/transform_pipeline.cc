@@ -1,5 +1,7 @@
 #include "transform/transform_pipeline.h"
 
+#include <unordered_set>
+
 namespace mainline::transform {
 
 uint32_t TransformPipeline::RunOnce() {
@@ -12,10 +14,15 @@ uint32_t TransformPipeline::RunOnce() {
     candidates.swap(manual_queue_);
   }
   for (auto &[block, table] : observer_->CollectColdBlocks()) candidates.emplace_back(block, table);
+  // The same block can arrive through both the manual queue and the observer;
+  // a duplicate inside one compaction group would make the planner count its
+  // tuples twice and compact the block onto itself.
+  std::unordered_set<storage::RawBlock *> dedup;
   for (auto &[block, table] : candidates) {
     if (block->data_table != table || table == nullptr) continue;
     if (table_filter_ && !table_filter_(table)) continue;
     if (block->controller.GetState() == storage::BlockState::kFrozen) continue;
+    if (!dedup.insert(block).second) continue;
     per_table[table].push_back(block);
   }
 

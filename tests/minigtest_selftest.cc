@@ -1,0 +1,167 @@
+// Self-test for the vendored minigtest shim (third_party/minigtest).
+//
+// Every other suite trusts the shim for its verdicts, so the shim's own
+// moving parts — filter globbing, parameterized-test expansion, Combine
+// ordering, assertion comparison semantics — get checked here, with the
+// same <gtest/gtest.h> API (under a real GoogleTest most of these become
+// trivial truths, which is fine: the suite guards the shim, not gtest).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+#if defined(MINIGTEST_GTEST_H_)
+
+TEST(MiniGtestGlob, MatchesLikeGtestFilters) {
+  using testing::internal::GlobMatch;
+  EXPECT_TRUE(GlobMatch("Suite.Test", "Suite.Test"));
+  EXPECT_FALSE(GlobMatch("Suite.Test", "Suite.Test2"));
+  EXPECT_TRUE(GlobMatch("Suite.*", "Suite.Anything"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*Transform*", "Modes/TransformTest.Freeze/Gather"));
+  EXPECT_FALSE(GlobMatch("?", ""));
+  EXPECT_TRUE(GlobMatch("A?C", "ABC"));
+  EXPECT_FALSE(GlobMatch("A?C", "AC"));
+}
+
+TEST(MiniGtestFilter, PositiveAndNegativeSections) {
+  using testing::internal::PassesFilter;
+  EXPECT_TRUE(PassesFilter("", "Any.Test"));
+  EXPECT_TRUE(PassesFilter("Any.*", "Any.Test"));
+  EXPECT_FALSE(PassesFilter("Other.*", "Any.Test"));
+  EXPECT_TRUE(PassesFilter("A.*:B.*", "B.Two"));
+  EXPECT_FALSE(PassesFilter("A.*-A.Skip", "A.Skip"));
+  EXPECT_TRUE(PassesFilter("A.*-A.Skip", "A.Run"));
+  EXPECT_FALSE(PassesFilter("-A.Skip", "A.Skip"));
+  EXPECT_TRUE(PassesFilter("-A.Skip", "B.Anything"));
+}
+
+int CountRegistered(const std::string &prefix) {
+  int count = 0;
+  for (const auto &test : testing::internal::GetRegistry().tests) {
+    if (test.full_name.rfind(prefix, 0) == 0) count++;
+  }
+  return count;
+}
+
+TEST(MiniGtestRegistry, ParamExpansionProducesEveryInstance) {
+  // By the time any test runs, parameterized suites have been expanded into
+  // the flat registry: 3 values × 1 test.
+  EXPECT_EQ(CountRegistered("Vals/ParamExpansion."), 3);
+}
+
+TEST(MiniGtestRegistry, CombineProducesTheCrossProduct) {
+  EXPECT_EQ(CountRegistered("Cross/TupleParam."), 3 * 2);
+}
+
+TEST(MiniGtestRegistry, CustomNamersNameTheInstances) {
+  EXPECT_EQ(CountRegistered("Both/CtorParam.ParamAvailableDuringConstruction/On"), 1);
+  EXPECT_EQ(CountRegistered("Both/CtorParam.ParamAvailableDuringConstruction/Off"), 1);
+}
+
+#endif  // MINIGTEST_GTEST_H_
+
+// --- Parameterized machinery, exercised through the public API ------------
+
+class ParamExpansion : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParamExpansion, EachValueInRange) {
+  EXPECT_GE(GetParam(), 1);
+  EXPECT_LE(GetParam(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vals, ParamExpansion, ::testing::Values(1, 2, 3));
+
+class TupleParam
+    : public ::testing::TestWithParam<std::tuple<uint16_t, bool>> {};
+
+TEST_P(TupleParam, CombineYieldsValidPairs) {
+  const auto [v, flag] = GetParam();
+  EXPECT_TRUE(v == 1 || v == 2 || v == 4);
+  EXPECT_TRUE(flag == true || flag == false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cross, TupleParam,
+                         ::testing::Combine(::testing::Values<uint16_t>(1, 2, 4),
+                                            ::testing::Bool()));
+
+// Params must already be readable in the fixture constructor (export_test
+// relies on this).
+class CtorParam : public ::testing::TestWithParam<bool> {
+ protected:
+  CtorParam() : seen_in_ctor_(GetParam()) {}
+  bool seen_in_ctor_;
+};
+
+TEST_P(CtorParam, ParamAvailableDuringConstruction) {
+  EXPECT_EQ(seen_in_ctor_, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, CtorParam, ::testing::Bool(),
+                         [](const auto &info) { return info.param ? "On" : "Off"; });
+
+// --- Fixture lifecycle ----------------------------------------------------
+
+class Lifecycle : public ::testing::Test {
+ protected:
+  void SetUp() override { setup_ran_ = true; }
+  void TearDown() override { EXPECT_TRUE(setup_ran_); }
+  bool setup_ran_ = false;
+};
+
+TEST_F(Lifecycle, SetUpRunsBeforeBody) { EXPECT_TRUE(setup_ran_); }
+
+class SuiteLifecycle : public ::testing::Test {
+ public:
+  // Public, as real GoogleTest requires (its resolver takes the address at
+  // namespace scope); the shim accepts protected too.
+  static void SetUpTestSuite() { suite_setups_++; }
+
+ protected:
+  static int suite_setups_;
+};
+
+int SuiteLifecycle::suite_setups_ = 0;
+
+TEST_F(SuiteLifecycle, HookRanBeforeFirstTest) { EXPECT_EQ(suite_setups_, 1); }
+TEST_F(SuiteLifecycle, HookRanExactlyOncePerSuite) { EXPECT_EQ(suite_setups_, 1); }
+
+// Interleaved declarations: the runner must still group each suite's tests
+// and fire its hooks exactly once (real GoogleTest groups by suite name).
+class InterleavedA : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() { setups_++; }
+  static int setups_;
+};
+int InterleavedA::setups_ = 0;
+
+class InterleavedB : public ::testing::Test {};
+
+TEST_F(InterleavedA, First) { EXPECT_EQ(setups_, 1); }
+TEST_F(InterleavedB, Between) { EXPECT_EQ(InterleavedA::setups_, 1); }
+TEST_F(InterleavedA, Second) { EXPECT_EQ(setups_, 1); }
+
+// --- Assertion semantics --------------------------------------------------
+
+TEST(Assertions, ComparisonsAndNear) {
+  const int *null_ptr = nullptr;
+  EXPECT_EQ(null_ptr, nullptr);
+  const std::string s = "ab";
+  EXPECT_NE(s, "cd");
+  EXPECT_LT(uint16_t{2}, 3);
+  EXPECT_NEAR(1.0, 1.05, 0.1);
+  EXPECT_DOUBLE_EQ(0.3, 0.1 + 0.2);
+  EXPECT_STREQ("xy", std::string("xy").c_str());
+}
+
+TEST(Assertions, StreamedMessagesCompile) {
+  EXPECT_TRUE(true) << "never printed " << 42;
+  ASSERT_FALSE(false) << "also never printed";
+}
+
+}  // namespace

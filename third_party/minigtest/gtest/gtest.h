@@ -1,0 +1,793 @@
+// minigtest — a small, header-only, GoogleTest-compatible testing shim.
+//
+// The build environment is offline, so instead of fetching GoogleTest we
+// vendor the subset of its API that the mainline test suites actually use:
+//
+//   * TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P
+//   * ::testing::Test, ::testing::TestWithParam<T>
+//   * EXPECT_* / ASSERT_* comparisons (EQ, NE, LT, LE, GT, GE, TRUE, FALSE,
+//     NEAR, DOUBLE_EQ) with gtest-style `<< "message"` streaming
+//   * ::testing::Values / Bool / Combine param generators and custom namers
+//   * a test registry + main() supporting --gtest_filter=POS[:POS...][-NEG...]
+//     and --gtest_list_tests
+//
+// Death tests, mocks, typed tests, and test events are intentionally absent.
+// Builds may swap in the real GoogleTest by pointing the include path at a
+// system installation (see MAINLINE_USE_SYSTEM_GTEST in the top-level
+// CMakeLists.txt); this header keeps the source-level API identical.
+
+#ifndef MINIGTEST_GTEST_H_
+#define MINIGTEST_GTEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Messages and assertion plumbing
+// ---------------------------------------------------------------------------
+
+/// Accumulates the `<< "context"` text users stream onto a failed assertion.
+class Message {
+ public:
+  Message() = default;
+  Message(const Message &other) { stream_ << other.GetString(); }
+
+  template <typename T>
+  Message &operator<<(const T &value) {
+    stream_ << value;
+    return *this;
+  }
+
+  // std::endl and friends.
+  Message &operator<<(std::ostream &(*manip)(std::ostream &)) {
+    stream_ << manip;
+    return *this;
+  }
+
+  std::string GetString() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Result of evaluating one assertion; falsy results carry a failure message.
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool success) : success_(success) {}
+  AssertionResult(bool success, std::string message)
+      : success_(success), message_(std::move(message)) {}
+
+  explicit operator bool() const { return success_; }
+  const char *failure_message() const { return message_.c_str(); }
+
+  template <typename T>
+  AssertionResult &operator<<(const T &value) {
+    std::ostringstream ss;
+    ss << value;
+    message_ += ss.str();
+    return *this;
+  }
+
+ private:
+  bool success_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+namespace internal {
+
+/// Per-process bookkeeping for the currently running test.
+struct TestState {
+  bool current_failed = false;
+  bool any_failed = false;
+  int fatal_depth = 0;  // Set when an ASSERT_* fails, so callers can bail.
+};
+
+inline TestState &State() {
+  static TestState state;
+  return state;
+}
+
+// --- value printing --------------------------------------------------------
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream &>()
+                                            << std::declval<const T &>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintToString(const T &value) {
+  std::ostringstream ss;
+  if constexpr (std::is_same_v<T, bool>) {
+    ss << (value ? "true" : "false");
+  } else if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    ss << "nullptr";
+  } else if constexpr (std::is_enum_v<T>) {
+    ss << static_cast<std::underlying_type_t<T>>(value);
+  } else if constexpr (std::is_same_v<T, signed char> ||
+                       std::is_same_v<T, unsigned char>) {
+    ss << static_cast<int>(value);
+  } else if constexpr (std::is_pointer_v<T>) {
+    if (value == nullptr) {
+      ss << "nullptr";
+    } else if constexpr (std::is_same_v<std::decay_t<T>, const char *> ||
+                         std::is_same_v<std::decay_t<T>, char *>) {
+      ss << '"' << value << '"';
+    } else {
+      ss << static_cast<const void *>(value);
+    }
+  } else if constexpr (IsStreamable<T>::value) {
+    ss << value;
+  } else {
+    ss << sizeof(T) << "-byte object <unprintable>";
+  }
+  return ss.str();
+}
+
+// --- comparison helpers ----------------------------------------------------
+
+template <typename Op, typename A, typename B>
+AssertionResult CmpHelper(const char *op_text, const char *lhs_text,
+                          const char *rhs_text, const A &lhs, const B &rhs,
+                          Op op) {
+  if (op(lhs, rhs)) return AssertionSuccess();
+  std::ostringstream ss;
+  ss << "Expected: (" << lhs_text << ") " << op_text << " (" << rhs_text
+     << "), actual: " << PrintToString(lhs) << " vs " << PrintToString(rhs);
+  return AssertionResult(false, ss.str());
+}
+
+// EQ gets its own helper so `EXPECT_EQ(ptr, nullptr)` and mixed-sign integer
+// comparisons compile the same way they do under real GoogleTest.
+template <typename A, typename B>
+AssertionResult EqHelper(const char *lhs_text, const char *rhs_text,
+                         const A &lhs, const B &rhs) {
+  return CmpHelper(
+      "==", lhs_text, rhs_text, lhs, rhs,
+      [](const auto &a, const auto &b) { return a == b; });
+}
+
+template <typename T>
+AssertionResult BoolHelper(const char *text, const T &value, bool expected) {
+  if (static_cast<bool>(value) == expected) return AssertionSuccess();
+  std::ostringstream ss;
+  ss << "Value of: " << text << "\n  Actual: "
+     << (static_cast<bool>(value) ? "true" : "false")
+     << "\nExpected: " << (expected ? "true" : "false");
+  return AssertionResult(false, ss.str());
+}
+
+inline AssertionResult NearHelper(const char *lhs_text, const char *rhs_text,
+                                  const char *err_text, double lhs, double rhs,
+                                  double abs_error) {
+  const double diff = std::fabs(lhs - rhs);
+  if (diff <= abs_error) return AssertionSuccess();
+  std::ostringstream ss;
+  ss << "The difference between " << lhs_text << " and " << rhs_text << " is "
+     << diff << ", which exceeds " << err_text << ", where\n"
+     << lhs_text << " evaluates to " << lhs << ",\n"
+     << rhs_text << " evaluates to " << rhs << ", and\n"
+     << err_text << " evaluates to " << abs_error << ".";
+  return AssertionResult(false, ss.str());
+}
+
+inline AssertionResult DoubleEqHelper(const char *lhs_text,
+                                      const char *rhs_text, double lhs,
+                                      double rhs) {
+  // Approximation of gtest's 4-ULP rule that is adequate for test tolerances.
+  const double scale = std::fmax(std::fabs(lhs), std::fabs(rhs));
+  const double bound = scale * 4.0 * 2.220446049250313e-16;  // 4 * DBL_EPSILON
+  return NearHelper(lhs_text, rhs_text, "4 ULPs", lhs, rhs,
+                    std::fmax(bound, 4.0 * 4.9406564584124654e-324));
+}
+
+/// Records a failure when a Message is assigned into it (mirrors gtest's
+/// `AssertHelper(...) = Message() << ...` trick that enables streaming).
+class AssertHelper {
+ public:
+  AssertHelper(bool fatal, const char *file, int line, const char *message)
+      : fatal_(fatal), file_(file), line_(line), message_(message) {}
+
+  void operator=(const Message &message) const {
+    std::string user = message.GetString();
+    std::fprintf(stderr, "%s:%d: Failure\n%s%s%s\n", file_, line_, message_,
+                 user.empty() ? "" : "\n", user.c_str());
+    State().current_failed = true;
+    State().any_failed = true;
+    if (fatal_) State().fatal_depth = 1;
+  }
+
+ private:
+  bool fatal_;
+  const char *file_;
+  int line_;
+  const char *message_;
+};
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test fixtures
+// ---------------------------------------------------------------------------
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+ public:
+  // Invoked by the runner; public so the registry's erased callables can
+  // reach it without befriending every generated class.
+  void MiniGtestRun() {
+    SetUp();
+    if (internal::State().fatal_depth == 0) TestBody();
+    TearDown();
+  }
+};
+
+template <typename ParamT>
+class TestWithParam : public Test {
+ public:
+  using ParamType = ParamT;
+  // The parameter lives in a static slot written by the test factory before
+  // the fixture is constructed, so GetParam() already works in constructors
+  // and member initializers (as it does under real GoogleTest).
+  const ParamType &GetParam() const { return *CurrentParam(); }
+
+  static void MiniGtestSetParam(const ParamType *param) {
+    CurrentParam() = param;
+  }
+
+ private:
+  static const ParamType *&CurrentParam() {
+    static const ParamType *param = nullptr;
+    return param;
+  }
+};
+
+/// Passed to INSTANTIATE_TEST_SUITE_P name generators.
+template <typename ParamT>
+struct TestParamInfo {
+  ParamT param;
+  size_t index;
+};
+
+// ---------------------------------------------------------------------------
+// Parameter generators
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class ParamGenerator {
+ public:
+  ParamGenerator() = default;
+  explicit ParamGenerator(std::vector<T> values) : values_(std::move(values)) {}
+  const std::vector<T> &values() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// `Values(a, b, c)` deduces T from the first argument; an explicit
+/// `Values<uint16_t>(1, 2, 3)` converts the rest to T, matching gtest.
+template <typename T, typename... Rest>
+ParamGenerator<T> Values(T first, Rest... rest) {
+  return ParamGenerator<T>(
+      std::vector<T>{std::move(first), static_cast<T>(rest)...});
+}
+
+template <typename Container>
+ParamGenerator<typename Container::value_type> ValuesIn(
+    const Container &container) {
+  using T = typename Container::value_type;
+  return ParamGenerator<T>(std::vector<T>(container.begin(), container.end()));
+}
+
+inline ParamGenerator<bool> Bool() {
+  return ParamGenerator<bool>({false, true});
+}
+
+template <typename T>
+ParamGenerator<T> Range(T begin, T end, T step = T(1)) {
+  std::vector<T> values;
+  for (T v = begin; v < end; v = static_cast<T>(v + step)) values.push_back(v);
+  return ParamGenerator<T>(std::move(values));
+}
+
+template <typename Out, typename Partial>
+void CombineImpl(std::vector<Out> &result, Partial partial) {
+  result.push_back(std::apply(
+      [](auto &&...elems) { return Out{std::forward<decltype(elems)>(elems)...}; },
+      partial));
+}
+
+template <typename Out, typename Partial, typename T, typename... Rest>
+void CombineImpl(std::vector<Out> &result, Partial partial,
+                 const ParamGenerator<T> &head,
+                 const ParamGenerator<Rest> &...tail) {
+  for (const T &value : head.values()) {
+    CombineImpl(result, std::tuple_cat(partial, std::make_tuple(value)),
+                tail...);
+  }
+}
+
+/// Cross product of the generators, first axis varying slowest (as gtest).
+template <typename... Ts>
+ParamGenerator<std::tuple<Ts...>> Combine(const ParamGenerator<Ts> &...gens) {
+  std::vector<std::tuple<Ts...>> result;
+  CombineImpl(result, std::tuple<>{}, gens...);
+  return ParamGenerator<std::tuple<Ts...>>(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+using SuiteHook = void (*)();
+
+struct RegisteredTest {
+  std::string full_name;   // "Suite.Test" or "Inst/Suite.Test/Param"
+  std::function<Test *()> factory;
+  // The fixture's (possibly inherited) SetUpTestSuite/TearDownTestSuite,
+  // resolved statically at registration. Called once per suite-name run.
+  SuiteHook suite_setup = nullptr;
+  SuiteHook suite_teardown = nullptr;
+};
+
+struct ParamTestDef {
+  std::string test_name;
+  // Creates the fixture and points it at the (type-erased) parameter.
+  std::function<Test *(const void *)> factory;
+  SuiteHook suite_setup = nullptr;
+  SuiteHook suite_teardown = nullptr;
+};
+
+struct ParamInstantiation {
+  std::string prefix;
+  // (display name, boxed parameter) pairs, in generator order.
+  std::vector<std::pair<std::string, std::shared_ptr<const void>>> params;
+};
+
+struct Registry {
+  std::vector<RegisteredTest> tests;
+  // Keyed by suite name; filled by TEST_P / INSTANTIATE_TEST_SUITE_P and
+  // cross-multiplied lazily in ExpandParameterizedTests().
+  std::map<std::string, std::vector<ParamTestDef>> param_tests;
+  std::map<std::string, std::vector<ParamInstantiation>> param_instantiations;
+  // Preserves suite registration order for stable output.
+  std::vector<std::string> param_suite_order;
+};
+
+inline Registry &GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+struct Registrar {
+  Registrar(const char *suite, const char *name,
+            std::function<Test *()> factory, SuiteHook setup,
+            SuiteHook teardown) {
+    GetRegistry().tests.push_back(
+        {std::string(suite) + "." + name, std::move(factory), setup, teardown});
+  }
+};
+
+struct ParamTestRegistrar {
+  ParamTestRegistrar(const char *suite, const char *name,
+                     std::function<Test *(const void *)> factory,
+                     SuiteHook setup, SuiteHook teardown) {
+    auto &registry = GetRegistry();
+    if (registry.param_tests.find(suite) == registry.param_tests.end()) {
+      registry.param_suite_order.push_back(suite);
+    }
+    registry.param_tests[suite].push_back(
+        {name, std::move(factory), setup, teardown});
+  }
+};
+
+template <typename Suite>
+struct ParamInstantiationRegistrar {
+  using ParamType = typename Suite::ParamType;
+  using Namer = std::function<std::string(const TestParamInfo<ParamType> &)>;
+
+  ParamInstantiationRegistrar(const char *prefix, const char *suite,
+                              const ParamGenerator<ParamType> &gen) {
+    Register(prefix, suite, gen, [](const TestParamInfo<ParamType> &info) {
+      return std::to_string(info.index);
+    });
+  }
+
+  template <typename NameGen>
+  ParamInstantiationRegistrar(const char *prefix, const char *suite,
+                              const ParamGenerator<ParamType> &gen,
+                              NameGen namer) {
+    Register(prefix, suite, gen,
+             [namer](const TestParamInfo<ParamType> &info) {
+               return std::string(namer(info));
+             });
+  }
+
+ private:
+  static void Register(const char *prefix, const char *suite,
+                       const ParamGenerator<ParamType> &gen,
+                       const Namer &namer) {
+    ParamInstantiation inst;
+    inst.prefix = prefix;
+    size_t index = 0;
+    for (const ParamType &value : gen.values()) {
+      auto boxed = std::make_shared<ParamType>(value);
+      inst.params.emplace_back(namer(TestParamInfo<ParamType>{value, index}),
+                               std::shared_ptr<const void>(boxed));
+      ++index;
+    }
+    GetRegistry().param_instantiations[suite].push_back(std::move(inst));
+  }
+};
+
+inline void ExpandParameterizedTests() {
+  auto &registry = GetRegistry();
+  for (const std::string &suite : registry.param_suite_order) {
+    const auto &defs = registry.param_tests[suite];
+    auto inst_it = registry.param_instantiations.find(suite);
+    if (inst_it == registry.param_instantiations.end()) continue;
+    for (const ParamInstantiation &inst : inst_it->second) {
+      for (const ParamTestDef &def : defs) {
+        for (const auto &[param_name, boxed] : inst.params) {
+          std::string full = inst.prefix + "/" + suite + "." + def.test_name +
+                             "/" + param_name;
+          auto factory = def.factory;
+          auto param = boxed;
+          registry.tests.push_back(
+              {std::move(full),
+               [factory, param]() { return factory(param.get()); },
+               def.suite_setup, def.suite_teardown});
+        }
+      }
+    }
+  }
+  registry.param_tests.clear();
+  registry.param_instantiations.clear();
+  registry.param_suite_order.clear();
+}
+
+// --- filtering (gtest-style glob lists) ------------------------------------
+
+inline bool GlobMatch(const char *pattern, const char *text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return GlobMatch(pattern + 1, text) ||
+           (*text != '\0' && GlobMatch(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '?' || *pattern == *text) {
+    return GlobMatch(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+inline bool MatchesAnyGlob(const std::string &patterns,
+                           const std::string &name) {
+  size_t start = 0;
+  while (start <= patterns.size()) {
+    size_t colon = patterns.find(':', start);
+    if (colon == std::string::npos) colon = patterns.size();
+    std::string pattern = patterns.substr(start, colon - start);
+    if (!pattern.empty() && GlobMatch(pattern.c_str(), name.c_str()))
+      return true;
+    start = colon + 1;
+  }
+  return false;
+}
+
+inline bool PassesFilter(const std::string &filter, const std::string &name) {
+  if (filter.empty()) return true;
+  std::string positive = filter, negative;
+  size_t dash = filter.find('-');
+  if (dash != std::string::npos) {
+    positive = filter.substr(0, dash);
+    negative = filter.substr(dash + 1);
+  }
+  if (positive.empty()) positive = "*";
+  if (!MatchesAnyGlob(positive, name)) return false;
+  if (!negative.empty() && MatchesAnyGlob(negative, name)) return false;
+  return true;
+}
+
+inline int RunAllTests(const std::string &filter, bool list_only) {
+  ExpandParameterizedTests();
+  auto &registry = GetRegistry();
+
+  std::vector<const RegisteredTest *> selected;
+  for (const RegisteredTest &test : registry.tests) {
+    if (PassesFilter(filter, test.full_name)) selected.push_back(&test);
+  }
+
+  // Group by suite name (stable, ordered by first appearance), as real
+  // GoogleTest does: suite-level hooks must run exactly once per suite even
+  // when declarations interleave suites in one file.
+  const auto suite_of = [](const RegisteredTest *test) {
+    return test->full_name.substr(0, test->full_name.find('.'));
+  };
+  std::map<std::string, size_t> suite_rank;
+  for (const RegisteredTest &test : registry.tests) {
+    suite_rank.emplace(test.full_name.substr(0, test.full_name.find('.')),
+                       suite_rank.size());
+  }
+  std::stable_sort(selected.begin(), selected.end(),
+                   [&](const RegisteredTest *a, const RegisteredTest *b) {
+                     return suite_rank[suite_of(a)] < suite_rank[suite_of(b)];
+                   });
+
+  if (list_only) {
+    for (const RegisteredTest *test : selected) {
+      std::printf("%s\n", test->full_name.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("[==========] Running %zu test(s).\n", selected.size());
+  std::vector<std::string> failed;
+  // Suite-level hooks fire on suite-name transitions (the sort above makes
+  // each suite's selected tests contiguous).
+  std::string current_suite;
+  SuiteHook current_teardown = nullptr;
+  for (const RegisteredTest *test : selected) {
+    const std::string suite =
+        test->full_name.substr(0, test->full_name.find('.'));
+    if (suite != current_suite) {
+      if (current_teardown != nullptr) current_teardown();
+      current_suite = suite;
+      current_teardown = test->suite_teardown;
+      if (test->suite_setup != nullptr) test->suite_setup();
+    }
+    std::printf("[ RUN      ] %s\n", test->full_name.c_str());
+    std::fflush(stdout);
+    State().current_failed = false;
+    State().fatal_depth = 0;
+    {
+      std::unique_ptr<Test> instance(test->factory());
+      instance->MiniGtestRun();
+    }
+    if (State().current_failed) {
+      failed.push_back(test->full_name);
+      std::printf("[  FAILED  ] %s\n", test->full_name.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", test->full_name.c_str());
+    }
+    std::fflush(stdout);
+  }
+  if (current_teardown != nullptr) current_teardown();
+  std::printf("[==========] %zu test(s) ran.\n", selected.size());
+  std::printf("[  PASSED  ] %zu test(s).\n", selected.size() - failed.size());
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu test(s), listed below:\n", failed.size());
+    for (const std::string &name : failed) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+  }
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace internal
+
+inline void InitGoogleTest(int *, char **) {}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+// ---------------------------------------------------------------------------
+// Assertion macros
+// ---------------------------------------------------------------------------
+
+// The `switch (0) case 0: default:` guard makes a dangling-else-safe
+// statement, exactly as real gtest does.
+#define MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                              \
+  case 0:                                 \
+  default:
+
+#define MINIGTEST_ASSERT_(expression, on_failure)                       \
+  MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                     \
+  if (const ::testing::AssertionResult minigtest_ar = (expression))     \
+    ;                                                                   \
+  else                                                                  \
+    on_failure(minigtest_ar.failure_message())
+
+#define MINIGTEST_NONFATAL_(message)                                  \
+  ::testing::internal::AssertHelper(false, __FILE__, __LINE__,        \
+                                    message) = ::testing::Message()
+#define MINIGTEST_FATAL_(message)                                    \
+  return ::testing::internal::AssertHelper(true, __FILE__, __LINE__, \
+                                           message) = ::testing::Message()
+
+#define MINIGTEST_CMP_(op_text, lhs, rhs, op, on_failure)                  \
+  MINIGTEST_ASSERT_(                                                       \
+      ::testing::internal::CmpHelper(                                      \
+          op_text, #lhs, #rhs, (lhs), (rhs),                               \
+          [](const auto &minigtest_a, const auto &minigtest_b) {           \
+            return minigtest_a op minigtest_b;                             \
+          }),                                                              \
+      on_failure)
+
+#define EXPECT_EQ(lhs, rhs)                                                  \
+  MINIGTEST_ASSERT_(::testing::internal::EqHelper(#lhs, #rhs, (lhs), (rhs)), \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_EQ(lhs, rhs)                                                  \
+  MINIGTEST_ASSERT_(::testing::internal::EqHelper(#lhs, #rhs, (lhs), (rhs)), \
+                    MINIGTEST_FATAL_)
+
+#define EXPECT_NE(lhs, rhs) MINIGTEST_CMP_("!=", lhs, rhs, !=, MINIGTEST_NONFATAL_)
+#define ASSERT_NE(lhs, rhs) MINIGTEST_CMP_("!=", lhs, rhs, !=, MINIGTEST_FATAL_)
+#define EXPECT_LT(lhs, rhs) MINIGTEST_CMP_("<", lhs, rhs, <, MINIGTEST_NONFATAL_)
+#define ASSERT_LT(lhs, rhs) MINIGTEST_CMP_("<", lhs, rhs, <, MINIGTEST_FATAL_)
+#define EXPECT_LE(lhs, rhs) MINIGTEST_CMP_("<=", lhs, rhs, <=, MINIGTEST_NONFATAL_)
+#define ASSERT_LE(lhs, rhs) MINIGTEST_CMP_("<=", lhs, rhs, <=, MINIGTEST_FATAL_)
+#define EXPECT_GT(lhs, rhs) MINIGTEST_CMP_(">", lhs, rhs, >, MINIGTEST_NONFATAL_)
+#define ASSERT_GT(lhs, rhs) MINIGTEST_CMP_(">", lhs, rhs, >, MINIGTEST_FATAL_)
+#define EXPECT_GE(lhs, rhs) MINIGTEST_CMP_(">=", lhs, rhs, >=, MINIGTEST_NONFATAL_)
+#define ASSERT_GE(lhs, rhs) MINIGTEST_CMP_(">=", lhs, rhs, >=, MINIGTEST_FATAL_)
+
+#define EXPECT_TRUE(condition)                                              \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::BoolHelper(#condition, (condition), true),       \
+      MINIGTEST_NONFATAL_)
+#define ASSERT_TRUE(condition)                                              \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::BoolHelper(#condition, (condition), true),       \
+      MINIGTEST_FATAL_)
+#define EXPECT_FALSE(condition)                                             \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::BoolHelper(#condition, (condition), false),      \
+      MINIGTEST_NONFATAL_)
+#define ASSERT_FALSE(condition)                                             \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::BoolHelper(#condition, (condition), false),      \
+      MINIGTEST_FATAL_)
+
+#define EXPECT_NEAR(lhs, rhs, abs_error)                                     \
+  MINIGTEST_ASSERT_(::testing::internal::NearHelper(#lhs, #rhs, #abs_error,  \
+                                                    (lhs), (rhs),            \
+                                                    (abs_error)),            \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_NEAR(lhs, rhs, abs_error)                                     \
+  MINIGTEST_ASSERT_(::testing::internal::NearHelper(#lhs, #rhs, #abs_error,  \
+                                                    (lhs), (rhs),            \
+                                                    (abs_error)),            \
+                    MINIGTEST_FATAL_)
+
+#define EXPECT_DOUBLE_EQ(lhs, rhs)                                          \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::DoubleEqHelper(#lhs, #rhs, (lhs), (rhs)),        \
+      MINIGTEST_NONFATAL_)
+#define ASSERT_DOUBLE_EQ(lhs, rhs)                                          \
+  MINIGTEST_ASSERT_(                                                        \
+      ::testing::internal::DoubleEqHelper(#lhs, #rhs, (lhs), (rhs)),        \
+      MINIGTEST_FATAL_)
+
+#define EXPECT_STREQ(lhs, rhs)                                              \
+  MINIGTEST_ASSERT_(::testing::internal::EqHelper(#lhs, #rhs,               \
+                                                  std::string(lhs),         \
+                                                  std::string(rhs)),        \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_STREQ(lhs, rhs)                                              \
+  MINIGTEST_ASSERT_(::testing::internal::EqHelper(#lhs, #rhs,               \
+                                                  std::string(lhs),         \
+                                                  std::string(rhs)),        \
+                    MINIGTEST_FATAL_)
+
+#define ADD_FAILURE() MINIGTEST_NONFATAL_("Failure")
+#define FAIL() MINIGTEST_FATAL_("Failure")
+#define SUCCEED() static_cast<void>(0)
+
+// ---------------------------------------------------------------------------
+// Test declaration macros
+// ---------------------------------------------------------------------------
+
+#define MINIGTEST_CLASS_NAME_(suite, name) suite##_##name##_MiniGTest
+
+// The public MiniGtestSuite* wrappers exist because the inherited
+// SetUpTestSuite/TearDownTestSuite may be protected in the fixture; they are
+// accessible from the derived class body but not at namespace scope.
+#define MINIGTEST_TEST_(suite, name, parent)                                  \
+  class MINIGTEST_CLASS_NAME_(suite, name) : public parent {                  \
+    void TestBody() override;                                                 \
+                                                                              \
+   public:                                                                    \
+    static void MiniGtestSuiteSetUp() {                                       \
+      MINIGTEST_CLASS_NAME_(suite, name)::SetUpTestSuite();                   \
+    }                                                                         \
+    static void MiniGtestSuiteTearDown() {                                    \
+      MINIGTEST_CLASS_NAME_(suite, name)::TearDownTestSuite();                \
+    }                                                                         \
+  };                                                                          \
+  static ::testing::internal::Registrar minigtest_registrar_##suite##_##name( \
+      #suite, #name,                                                          \
+      []() -> ::testing::Test * {                                             \
+        return new MINIGTEST_CLASS_NAME_(suite, name)();                      \
+      },                                                                      \
+      &MINIGTEST_CLASS_NAME_(suite, name)::MiniGtestSuiteSetUp,               \
+      &MINIGTEST_CLASS_NAME_(suite, name)::MiniGtestSuiteTearDown);           \
+  void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(fixture, name)                                                 \
+  class MINIGTEST_CLASS_NAME_(fixture, name) : public fixture {               \
+    void TestBody() override;                                                 \
+                                                                              \
+   public:                                                                    \
+    static void MiniGtestSuiteSetUp() {                                       \
+      MINIGTEST_CLASS_NAME_(fixture, name)::SetUpTestSuite();                 \
+    }                                                                         \
+    static void MiniGtestSuiteTearDown() {                                    \
+      MINIGTEST_CLASS_NAME_(fixture, name)::TearDownTestSuite();              \
+    }                                                                         \
+  };                                                                          \
+  static ::testing::internal::ParamTestRegistrar                              \
+      minigtest_param_registrar_##fixture##_##name(                           \
+          #fixture, #name,                                                    \
+          [](const void *param) -> ::testing::Test * {                        \
+            fixture::MiniGtestSetParam(                                       \
+                static_cast<const fixture::ParamType *>(param));              \
+            return new MINIGTEST_CLASS_NAME_(fixture, name)();                \
+          },                                                                  \
+          &MINIGTEST_CLASS_NAME_(fixture, name)::MiniGtestSuiteSetUp,         \
+          &MINIGTEST_CLASS_NAME_(fixture, name)::MiniGtestSuiteTearDown);     \
+  void MINIGTEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, ...)                 \
+  static ::testing::internal::ParamInstantiationRegistrar<fixture>     \
+      minigtest_instantiation_##prefix##_##fixture{#prefix, #fixture,  \
+                                                   __VA_ARGS__}
+// Legacy gtest spelling.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+// ---------------------------------------------------------------------------
+// main()
+// ---------------------------------------------------------------------------
+
+#if !defined(MINIGTEST_DONT_DEFINE_MAIN)
+int main(int argc, char **argv) {
+  std::string filter;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const char *arg = argv[i];
+    if (std::strncmp(arg, "--gtest_filter=", 15) == 0) {
+      filter = arg + 15;
+    } else if (std::strcmp(arg, "--gtest_list_tests") == 0) {
+      list_only = true;
+    }
+    // Unknown flags (--gtest_color, etc.) are accepted and ignored.
+  }
+  return ::testing::internal::RunAllTests(filter, list_only);
+}
+#endif  // !MINIGTEST_DONT_DEFINE_MAIN
+
+#endif  // MINIGTEST_GTEST_H_
