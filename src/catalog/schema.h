@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,6 +91,26 @@ class Schema {
       if (columns_[i].Name() == name) return i;
     }
     return -1;
+  }
+
+  /// Resolve column names to schema positions, sorted ascending — the shape
+  /// scan projections (execution::TableScanner, ProjectedRowInitializer)
+  /// expect. An unknown name aborts in every build: silently narrowing a
+  /// projection would make queries return wrong answers with no diagnostic.
+  std::vector<uint16_t> ResolveColumns(const std::vector<std::string> &names) const {
+    std::vector<uint16_t> positions;
+    positions.reserve(names.size());
+    for (const std::string &name : names) {
+      const int32_t idx = ColumnIndex(name);
+      if (idx < 0) {
+        std::fprintf(stderr, "FATAL: unknown column \"%s\" in projection\n", name.c_str());
+        std::abort();
+      }
+      positions.push_back(static_cast<uint16_t>(idx));
+    }
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()), positions.end());
+    return positions;
   }
 
   /// Derive the physical block layout for this schema.

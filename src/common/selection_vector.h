@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// A selection vector in the MonetDB/X100 candidate-list style: the row
+/// indices of a vector batch that survive the predicates applied so far.
+/// Refinement compacts in place and branch-free, so a filter chain costs one
+/// predictable linear pass per predicate regardless of selectivity, and
+/// downstream operators only ever touch qualifying rows.
+///
+/// Indices are kept in ascending batch order, which lets aggregates that care
+/// about floating-point reproducibility accumulate in the same order as a
+/// tuple-at-a-time scan of the same rows.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(uint32_t capacity) { sel_.resize(capacity); }
+
+  /// Reset to the identity selection over `n` rows (all selected).
+  void InitFull(uint32_t n) {
+    if (sel_.size() < n) sel_.resize(n);
+    for (uint32_t i = 0; i < n; i++) sel_[i] = i;
+    size_ = n;
+  }
+
+  /// Keep only the selected rows for which `pred(row_index)` is true.
+  /// Compaction is branch-free: every candidate is written unconditionally
+  /// and the write cursor advances by the predicate's 0/1 result, so the
+  /// loop has no data-dependent branches for the predictor to miss.
+  template <typename Pred>
+  void Refine(Pred &&pred) {
+    uint32_t k = 0;
+    for (uint32_t i = 0; i < size_; i++) {
+      const uint32_t row = sel_[i];
+      sel_[k] = row;
+      k += static_cast<uint32_t>(static_cast<bool>(pred(row)));
+    }
+    size_ = k;
+  }
+
+  /// Invoke `fn(row_index)` for every selected row, in ascending order.
+  template <typename Fn>
+  void ForEach(Fn &&fn) const {
+    for (uint32_t i = 0; i < size_; i++) fn(sel_[i]);
+  }
+
+  /// \return number of selected rows.
+  uint32_t Size() const { return size_; }
+
+  bool Empty() const { return size_ == 0; }
+
+  /// \return the i-th selected row index.
+  uint32_t operator[](uint32_t i) const {
+    MAINLINE_ASSERT(i < size_, "selection index out of range");
+    return sel_[i];
+  }
+
+  const uint32_t *Data() const { return sel_.data(); }
+  const uint32_t *begin() const { return sel_.data(); }
+  const uint32_t *end() const { return sel_.data() + size_; }
+
+ private:
+  std::vector<uint32_t> sel_;
+  uint32_t size_ = 0;
+};
+
+}  // namespace mainline::common

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "common/macros.h"
+#include "execution/tpch_queries.h"
+#include "storage/sql_table.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::execution {
+
+/// Which engine answers a query: the vectorized dual-path executor, or the
+/// tuple-at-a-time scalar reference it is benchmarked (and verified) against.
+enum class ExecMode : uint8_t { kVectorized = 0, kScalar };
+
+/// Facade over the execution layer: begins a snapshot transaction, runs the
+/// query through the chosen engine, commits, and reports scan statistics —
+/// the one-call entry point examples, benchmarks, and external embedders use
+/// for in-situ analytics over live tables.
+class QueryRunner {
+ public:
+  explicit QueryRunner(transaction::TransactionManager *txn_manager)
+      : txn_manager_(txn_manager) {}
+
+  DISALLOW_COPY_AND_MOVE(QueryRunner)
+
+  struct Q1Result {
+    std::vector<tpch::Q1Row> rows;
+    ScanStats stats;
+  };
+
+  struct Q6Result {
+    double revenue = 0;
+    ScanStats stats;
+  };
+
+  Q1Result RunQ1(storage::SqlTable *table, const tpch::Q1Params &params = {},
+                 ExecMode mode = ExecMode::kVectorized) {
+    Q1Result result;
+    transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
+    result.rows = mode == ExecMode::kVectorized
+                      ? tpch::RunQ1(table, txn, params, &result.stats)
+                      : tpch::RunQ1Scalar(table, txn, params, &result.stats);
+    txn_manager_->Commit(txn);
+    return result;
+  }
+
+  Q6Result RunQ6(storage::SqlTable *table, const tpch::Q6Params &params = {},
+                 ExecMode mode = ExecMode::kVectorized) {
+    Q6Result result;
+    transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
+    result.revenue = mode == ExecMode::kVectorized
+                         ? tpch::RunQ6(table, txn, params, &result.stats)
+                         : tpch::RunQ6Scalar(table, txn, params, &result.stats);
+    txn_manager_->Commit(txn);
+    return result;
+  }
+
+ private:
+  transaction::TransactionManager *txn_manager_;
+};
+
+}  // namespace mainline::execution

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "execution/column_vector_batch.h"
+#include "storage/sql_table.h"
+#include "transaction/transaction_context.h"
+
+namespace mainline::execution {
+
+/// Counters for one scan: how many blocks each access path served, and how
+/// many visible rows came out. Reported by QueryRunner and figure16.
+struct ScanStats {
+  uint64_t frozen_blocks = 0;  ///< blocks read zero-copy in place
+  uint64_t hot_blocks = 0;     ///< blocks transactionally materialized
+  uint64_t rows = 0;           ///< visible rows produced
+
+  void Add(const ScanStats &other) {
+    frozen_blocks += other.frozen_blocks;
+    hot_blocks += other.hot_blocks;
+    rows += other.rows;
+  }
+};
+
+/// Block-at-a-time scan over a SqlTable with the paper's dual access path
+/// (Section 4.1): a block that is frozen is read in situ — its buffers are
+/// wrapped into zero-copy Arrow arrays under the block's read lock, with no
+/// per-tuple work at all — while a hot (or cooling/freezing) block falls back
+/// to early materialization, resolving each tuple's visible version through
+/// the scan's transaction with ProjectedRow. Both paths surface the same
+/// ColumnVectorBatch view, so operators upstream are path-oblivious.
+///
+/// Snapshot semantics: the hot path is MVCC-consistent by construction
+/// (DataTable::Select). The frozen path is consistent with the same snapshot
+/// because (a) a block only freezes after every transaction that overlapped
+/// its compaction has finished, so a block can never freeze under a snapshot
+/// that predates its frozen contents, and (b) any later writer flips the
+/// block hot *before* modifying it, which makes TryAcquireRead fail and
+/// routes this scanner to the transactional path.
+class TableScanner {
+ public:
+  /// \param table table to scan (block list is snapshotted here)
+  /// \param txn transaction all hot-path reads resolve through
+  /// \param projection schema column positions to expose; must be sorted
+  ///        ascending and duplicate-free (catalog::Schema::ResolveColumns
+  ///        produces this shape from column names)
+  TableScanner(storage::SqlTable *table, transaction::TransactionContext *txn,
+               std::vector<uint16_t> projection);
+
+  DISALLOW_COPY_AND_MOVE(TableScanner)
+
+  /// Produce the next non-empty batch.
+  /// \return true if `out` was (re)bound to a new block's data; false when
+  ///         the table is exhausted.
+  bool Next(ColumnVectorBatch *out);
+
+  const ScanStats &Stats() const { return stats_; }
+
+  const std::vector<uint16_t> &Projection() const { return projection_; }
+
+  /// \return the batch column index of schema column `schema_pos`.
+  uint16_t BatchIndex(uint16_t schema_pos) const;
+
+ private:
+  storage::SqlTable *table_;
+  transaction::TransactionContext *txn_;
+  std::vector<uint16_t> projection_;
+  std::vector<storage::RawBlock *> blocks_;
+  size_t next_block_ = 0;
+  ScanStats stats_;
+};
+
+}  // namespace mainline::execution

@@ -1,0 +1,249 @@
+#include "execution/tpch_queries.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/selection_vector.h"
+#include "execution/vector_ops.h"
+#include "workload/row_util.h"
+#include "workload/tpch/lineitem.h"
+
+namespace mainline::execution::tpch {
+
+namespace {
+
+using common::SelectionVector;
+using workload::tpch::L_DISCOUNT;
+using workload::tpch::L_EXTENDEDPRICE;
+using workload::tpch::L_LINESTATUS;
+using workload::tpch::L_QUANTITY;
+using workload::tpch::L_RETURNFLAG;
+using workload::tpch::L_SHIPDATE;
+using workload::tpch::L_TAX;
+
+/// Running aggregates of one Q1 group.
+struct Q1Acc {
+  std::string returnflag;
+  std::string linestatus;
+  double sum_qty = 0;
+  double sum_base_price = 0;
+  double sum_disc_price = 0;
+  double sum_charge = 0;
+  double sum_discount = 0;
+  uint64_t count = 0;
+};
+
+/// Group lookup without hashing: Q1 has at most |returnflag| x |linestatus|
+/// (six) groups, so a linear probe over the group list beats any hash table.
+uint32_t FindOrAddGroup(std::vector<Q1Acc> *groups, std::string_view flag,
+                        std::string_view status) {
+  for (uint32_t g = 0; g < groups->size(); g++) {
+    if ((*groups)[g].returnflag == flag && (*groups)[g].linestatus == status) return g;
+  }
+  Q1Acc acc;
+  acc.returnflag = std::string(flag);
+  acc.linestatus = std::string(status);
+  groups->push_back(std::move(acc));
+  return static_cast<uint32_t>(groups->size() - 1);
+}
+
+/// Finalize accumulators into sorted result rows. The scalar and vectorized
+/// engines share this so the averages divide identically.
+std::vector<Q1Row> FinalizeQ1(std::vector<Q1Acc> groups) {
+  std::vector<Q1Row> rows;
+  rows.reserve(groups.size());
+  for (Q1Acc &acc : groups) {
+    Q1Row row;
+    row.returnflag = std::move(acc.returnflag);
+    row.linestatus = std::move(acc.linestatus);
+    row.sum_qty = acc.sum_qty;
+    row.sum_base_price = acc.sum_base_price;
+    row.sum_disc_price = acc.sum_disc_price;
+    row.sum_charge = acc.sum_charge;
+    row.avg_qty = acc.sum_qty / static_cast<double>(acc.count);
+    row.avg_price = acc.sum_base_price / static_cast<double>(acc.count);
+    row.avg_disc = acc.sum_discount / static_cast<double>(acc.count);
+    row.count = acc.count;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q1Row &a, const Q1Row &b) {
+    if (a.returnflag != b.returnflag) return a.returnflag < b.returnflag;
+    return a.linestatus < b.linestatus;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
+                         const Q1Params &params, ScanStats *stats) {
+  TableScanner scanner(
+      table, txn,
+      {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_TAX, L_RETURNFLAG, L_LINESTATUS, L_SHIPDATE});
+  const uint16_t c_qty = scanner.BatchIndex(L_QUANTITY);
+  const uint16_t c_price = scanner.BatchIndex(L_EXTENDEDPRICE);
+  const uint16_t c_disc = scanner.BatchIndex(L_DISCOUNT);
+  const uint16_t c_tax = scanner.BatchIndex(L_TAX);
+  const uint16_t c_flag = scanner.BatchIndex(L_RETURNFLAG);
+  const uint16_t c_status = scanner.BatchIndex(L_LINESTATUS);
+  const uint16_t c_ship = scanner.BatchIndex(L_SHIPDATE);
+
+  std::vector<Q1Acc> groups;
+  SelectionVector sel;
+  ColumnVectorBatch batch;
+  while (scanner.Next(&batch)) {
+    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
+    vector_ops::FilterFixed<uint32_t>(batch.Column(c_ship), &sel,
+                                      [&](uint32_t v) { return v <= params.shipdate_max; });
+    if (sel.Empty()) {
+      batch.Release();
+      continue;
+    }
+
+    const double *qty = batch.Column(c_qty).buffer(0)->data_as<double>();
+    const double *price = batch.Column(c_price).buffer(0)->data_as<double>();
+    const double *disc = batch.Column(c_disc).buffer(0)->data_as<double>();
+    const double *tax = batch.Column(c_tax).buffer(0)->data_as<double>();
+    const auto accumulate = [&](Q1Acc *acc, uint32_t row) {
+      acc->sum_qty += qty[row];
+      acc->sum_base_price += price[row];
+      const double disc_price = price[row] * (1.0 - disc[row]);
+      acc->sum_disc_price += disc_price;
+      acc->sum_charge += disc_price * (1.0 + tax[row]);
+      acc->sum_discount += disc[row];
+      acc->count++;
+    };
+
+    const arrowlite::Array &flag = batch.Column(c_flag);
+    const arrowlite::Array &status = batch.Column(c_status);
+    if (flag.type() == arrowlite::Type::kDictionary &&
+        status.type() == arrowlite::Type::kDictionary) {
+      // Dictionary-encoded batch (frozen, dictionary gather mode): the group
+      // key collapses to a (flag code, status code) pair, so grouping is a
+      // direct lookup in a dense code-pair table — no strings, no hashing.
+      const auto num_status = static_cast<uint32_t>(status.dictionary()->length());
+      std::vector<int32_t> group_of_pair(flag.dictionary()->length() * num_status, -1);
+      const int32_t *flag_codes = flag.buffer(0)->data_as<int32_t>();
+      const int32_t *status_codes = status.buffer(0)->data_as<int32_t>();
+      sel.ForEach([&](uint32_t row) {
+        const uint32_t key = static_cast<uint32_t>(flag_codes[row]) * num_status +
+                             static_cast<uint32_t>(status_codes[row]);
+        int32_t g = group_of_pair[key];
+        if (UNLIKELY(g < 0)) {
+          g = static_cast<int32_t>(
+              FindOrAddGroup(&groups, flag.dictionary()->GetString(flag_codes[row]),
+                             status.dictionary()->GetString(status_codes[row])));
+          group_of_pair[key] = g;
+        }
+        accumulate(&groups[static_cast<uint32_t>(g)], row);
+      });
+    } else {
+      sel.ForEach([&](uint32_t row) {
+        const uint32_t g = FindOrAddGroup(&groups, flag.GetString(row), status.GetString(row));
+        accumulate(&groups[g], row);
+      });
+    }
+    batch.Release();
+  }
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return FinalizeQ1(std::move(groups));
+}
+
+double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+             const Q6Params &params, ScanStats *stats) {
+  TableScanner scanner(table, txn, {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_SHIPDATE});
+  const uint16_t c_qty = scanner.BatchIndex(L_QUANTITY);
+  const uint16_t c_price = scanner.BatchIndex(L_EXTENDEDPRICE);
+  const uint16_t c_disc = scanner.BatchIndex(L_DISCOUNT);
+  const uint16_t c_ship = scanner.BatchIndex(L_SHIPDATE);
+
+  double revenue = 0;
+  SelectionVector sel;
+  ColumnVectorBatch batch;
+  while (scanner.Next(&batch)) {
+    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
+    vector_ops::FilterRange<uint32_t>(batch.Column(c_ship), &sel, params.shipdate_min,
+                                      params.shipdate_max);
+    vector_ops::FilterFixed<double>(batch.Column(c_disc), &sel, [&](double v) {
+      return params.discount_min <= v && v <= params.discount_max;
+    });
+    vector_ops::FilterFixed<double>(batch.Column(c_qty), &sel,
+                                    [&](double v) { return v < params.quantity_max; });
+    vector_ops::AccumulateDotProduct(batch.Column(c_price), batch.Column(c_disc), sel,
+                                     &revenue);
+    batch.Release();
+  }
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return revenue;
+}
+
+namespace {
+
+/// Drive `visit(row)` over every tuple visible to `txn`, one
+/// DataTable::Select at a time — the classic iterator-model baseline. The
+/// projection must be sorted ascending; `visit` receives ProjectedRow
+/// indices in the same order.
+template <typename Visit>
+void ScalarScan(storage::SqlTable *table, transaction::TransactionContext *txn,
+                const std::vector<uint16_t> &projection, ScanStats *stats, Visit visit) {
+  const storage::ProjectedRowInitializer initializer =
+      table->InitializerForColumns(projection);
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+  uint64_t rows = 0;
+  for (storage::DataTable::SlotIterator it = table->begin(); !it.Done(); ++it) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    if (!table->Select(txn, *it, row)) continue;
+    rows++;
+    visit(*row);
+  }
+  if (stats != nullptr) stats->rows += rows;
+}
+
+}  // namespace
+
+std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+                               const Q1Params &params, ScanStats *stats) {
+  // Projection indices follow the sorted column order, same as the scanner.
+  const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_tax = 3, p_flag = 4, p_status = 5,
+                 p_ship = 6;
+  std::vector<Q1Acc> groups;
+  ScalarScan(
+      table, txn,
+      {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_TAX, L_RETURNFLAG, L_LINESTATUS, L_SHIPDATE},
+      stats, [&](const storage::ProjectedRow &row) {
+        if (workload::Get<uint32_t>(row, p_ship) > params.shipdate_max) return;
+        const uint32_t g = FindOrAddGroup(&groups, workload::GetVarchar(row, p_flag),
+                                          workload::GetVarchar(row, p_status));
+        Q1Acc *acc = &groups[g];
+        const double qty = workload::Get<double>(row, p_qty);
+        const double price = workload::Get<double>(row, p_price);
+        const double disc = workload::Get<double>(row, p_disc);
+        const double tax = workload::Get<double>(row, p_tax);
+        acc->sum_qty += qty;
+        acc->sum_base_price += price;
+        const double disc_price = price * (1.0 - disc);
+        acc->sum_disc_price += disc_price;
+        acc->sum_charge += disc_price * (1.0 + tax);
+        acc->sum_discount += disc;
+        acc->count++;
+      });
+  return FinalizeQ1(std::move(groups));
+}
+
+double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+                   const Q6Params &params, ScanStats *stats) {
+  const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_ship = 3;
+  double revenue = 0;
+  ScalarScan(table, txn, {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_SHIPDATE}, stats,
+             [&](const storage::ProjectedRow &row) {
+               const uint32_t ship = workload::Get<uint32_t>(row, p_ship);
+               if (ship < params.shipdate_min || ship >= params.shipdate_max) return;
+               const double disc = workload::Get<double>(row, p_disc);
+               if (disc < params.discount_min || disc > params.discount_max) return;
+               if (workload::Get<double>(row, p_qty) >= params.quantity_max) return;
+               revenue += workload::Get<double>(row, p_price) * disc;
+             });
+  return revenue;
+}
+
+}  // namespace mainline::execution::tpch

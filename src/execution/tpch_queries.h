@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "execution/table_scanner.h"
+#include "storage/sql_table.h"
+#include "transaction/transaction_context.h"
+
+namespace mainline::execution::tpch {
+
+/// Parameters of TPC-H Q1 (pricing summary report). Dates are the engine's
+/// day numbers; the default cutoff keeps ~90% of the rows the lineitem
+/// generator produces, mirroring the official query's DATE '1998-12-01' -
+/// 90 days.
+struct Q1Params {
+  uint32_t shipdate_max = 10340;  ///< l_shipdate <= shipdate_max
+};
+
+/// One Q1 result group. Defaulted equality makes the bit-exactness check
+/// between the vectorized engine and the scalar reference a plain ==.
+struct Q1Row {
+  std::string returnflag;
+  std::string linestatus;
+  double sum_qty = 0;
+  double sum_base_price = 0;
+  double sum_disc_price = 0;
+  double sum_charge = 0;
+  double avg_qty = 0;
+  double avg_price = 0;
+  double avg_disc = 0;
+  uint64_t count = 0;
+
+  bool operator==(const Q1Row &) const = default;
+};
+
+/// Parameters of TPC-H Q6 (forecasting revenue change).
+struct Q6Params {
+  uint32_t shipdate_min = 9000;  ///< l_shipdate >= shipdate_min
+  uint32_t shipdate_max = 9365;  ///< l_shipdate <  shipdate_max
+  double discount_min = 0.05;    ///< l_discount >= discount_min
+  double discount_max = 0.07;    ///< l_discount <= discount_max
+  double quantity_max = 24.0;    ///< l_quantity <  quantity_max
+};
+
+/// Vectorized Q1 over the dual-path scanner: filter with a selection vector,
+/// then hash-free grouped aggregation on (l_returnflag, l_linestatus) —
+/// dictionary-encoded batches aggregate by direct code-pair addressing, never
+/// touching the strings inside the loop. Results are sorted by
+/// (returnflag, linestatus), as the query specifies.
+/// \param stats accumulates scan counters (may be nullptr)
+std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
+                         const Q1Params &params, ScanStats *stats = nullptr);
+
+/// Vectorized Q6: three selection-vector filters, then
+/// sum(l_extendedprice * l_discount) over the survivors.
+double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+             const Q6Params &params, ScanStats *stats = nullptr);
+
+/// Scalar tuple-at-a-time Q1 reference: one DataTable::Select per slot, row
+/// predicates and accumulation in scan order — the baseline figure16
+/// compares the vectorized engine against, and the oracle the execution
+/// tests demand bit-equal results from.
+std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+                               const Q1Params &params, ScanStats *stats = nullptr);
+
+/// Scalar tuple-at-a-time Q6 reference.
+double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+                   const Q6Params &params, ScanStats *stats = nullptr);
+
+}  // namespace mainline::execution::tpch

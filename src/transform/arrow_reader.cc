@@ -41,17 +41,33 @@ std::shared_ptr<arrowlite::Schema> ArrowReader::ToArrowSchema(const catalog::Sch
   return std::make_shared<arrowlite::Schema>(std::move(fields));
 }
 
+namespace {
+
+/// The schema positions a projection covers: the projection itself, or the
+/// identity over every column when none was given.
+std::vector<uint16_t> ProjectedPositions(const catalog::Schema &schema,
+                                         const std::vector<uint16_t> *projection) {
+  if (projection != nullptr) return *projection;
+  std::vector<uint16_t> all(schema.NumColumns());
+  for (uint16_t i = 0; i < schema.NumColumns(); i++) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
 std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
-    const catalog::Schema &schema, const storage::DataTable &table, storage::RawBlock *block) {
+    const catalog::Schema &schema, const storage::DataTable &table, storage::RawBlock *block,
+    const std::vector<uint16_t> *projection) {
   const storage::ArrowBlockMetadata *metadata = block->arrow_metadata;
   if (metadata == nullptr) return nullptr;
   const storage::BlockLayout &layout = table.GetLayout();
   const storage::TupleAccessStrategy &accessor = table.Accessor();
   const uint32_t n = metadata->NumRecords();
+  const std::vector<uint16_t> positions = ProjectedPositions(schema, projection);
 
   bool any_dictionary = false;
   std::vector<std::shared_ptr<arrowlite::Array>> columns;
-  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+  for (const uint16_t i : positions) {
     const storage::col_id_t col(i);
     const storage::ArrowColumnInfo &info = metadata->Column(i);
     // Validity bitmap: viewed directly from block storage.
@@ -98,8 +114,14 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
       }
     }
   }
-  return std::make_shared<arrowlite::RecordBatch>(ToArrowSchema(schema, any_dictionary), n,
-                                                  std::move(columns));
+  std::vector<arrowlite::Field> fields;
+  fields.reserve(positions.size());
+  for (const uint16_t i : positions) {
+    const catalog::Column &col = schema.GetColumn(i);
+    fields.emplace_back(col.Name(), ToArrowType(col.Type(), any_dictionary), col.Nullable());
+  }
+  return std::make_shared<arrowlite::RecordBatch>(
+      std::make_shared<arrowlite::Schema>(std::move(fields)), n, std::move(columns));
 }
 
 namespace {
@@ -117,9 +139,16 @@ void AppendFixed(arrowlite::FixedBuilder<T> *builder, const byte *value) {
 
 std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
-    transaction::TransactionContext *txn) {
+    transaction::TransactionContext *txn, const std::vector<uint16_t> *projection) {
   const storage::BlockLayout &layout = table->GetLayout();
-  const storage::ProjectedRowInitializer &initializer = table->FullRowInitializer();
+  const std::vector<uint16_t> positions = ProjectedPositions(schema, projection);
+  // Schema position i == physical column id i, and a sorted projection's
+  // ProjectedRow indices line up with `positions` one-to-one.
+  std::vector<storage::col_id_t> col_ids;
+  col_ids.reserve(positions.size());
+  for (const uint16_t i : positions) col_ids.emplace_back(i);
+  const storage::ProjectedRowInitializer initializer =
+      storage::ProjectedRowInitializer::Create(layout, std::move(col_ids));
   std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
 
   // One builder per column, dispatched by width.
@@ -133,7 +162,7 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     size_t idx;
   };
   std::vector<Dispatch> dispatch;
-  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
+  for (const uint16_t i : positions) {
     const catalog::Column &col = schema.GetColumn(i);
     if (col.IsVarlen()) {
       dispatch.push_back({4, bs.size()});
@@ -170,9 +199,11 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
     if (!table->Select(txn, slot, row)) continue;
     rows++;
-    for (uint16_t i = 0; i < schema.NumColumns(); i++) {
-      const byte *value = row->AccessWithNullCheck(i);
-      const Dispatch d = dispatch[i];
+    for (uint16_t p = 0; p < positions.size(); p++) {
+      // ProjectedRow index `p` maps to schema column `positions[p]` because
+      // both orders are ascending by column id.
+      const byte *value = row->AccessWithNullCheck(p);
+      const Dispatch d = dispatch[p];
       switch (d.kind) {
         case 0:
           AppendFixed(b1[d.idx].get(), value);
@@ -197,11 +228,12 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
       }
     }
   }
-  (void)layout;
 
   std::vector<std::shared_ptr<arrowlite::Array>> columns;
-  for (uint16_t i = 0; i < schema.NumColumns(); i++) {
-    const Dispatch d = dispatch[i];
+  std::vector<arrowlite::Field> fields;
+  fields.reserve(positions.size());
+  for (uint16_t p = 0; p < positions.size(); p++) {
+    const Dispatch d = dispatch[p];
     switch (d.kind) {
       case 0:
         columns.push_back(b1[d.idx]->Finish());
@@ -219,9 +251,11 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
         columns.push_back(bs[d.idx]->Finish());
         break;
     }
+    const catalog::Column &col = schema.GetColumn(positions[p]);
+    fields.emplace_back(col.Name(), ToArrowType(col.Type()), col.Nullable());
   }
-  return std::make_shared<arrowlite::RecordBatch>(ToArrowSchema(schema), rows,
-                                                  std::move(columns));
+  return std::make_shared<arrowlite::RecordBatch>(
+      std::make_shared<arrowlite::Schema>(std::move(fields)), rows, std::move(columns));
 }
 
 }  // namespace mainline::transform

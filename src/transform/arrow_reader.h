@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "arrowlite/array.h"
 #include "catalog/schema.h"
@@ -26,19 +27,24 @@ class ArrowReader {
 
   /// Build a zero-copy RecordBatch over a frozen block. The caller must hold
   /// the block's read lock (BlockAccessController::TryAcquireRead) for the
-  /// lifetime of the batch.
+  /// lifetime of the batch. `projection` (schema column positions, sorted
+  /// ascending) restricts the batch to those columns; nullptr means all — for
+  /// frozen blocks a projection is pure metadata savings, since no column
+  /// data is copied either way.
   /// \return the batch, or nullptr if the block carries no Arrow metadata.
   static std::shared_ptr<arrowlite::RecordBatch> FromFrozenBlock(
       const catalog::Schema &schema, const storage::DataTable &table,
-      storage::RawBlock *block);
+      storage::RawBlock *block, const std::vector<uint16_t> *projection = nullptr);
 
   /// Materialize a transactional snapshot of a (typically hot) block into a
   /// freshly built RecordBatch, resolving versions through `txn`. This is the
   /// expensive path Arrow-native storage avoids for cold data, and also the
-  /// "Snapshot" baseline of Figure 12.
+  /// "Snapshot" baseline of Figure 12. `projection` (schema column positions,
+  /// sorted ascending) restricts both the batch and the per-tuple Select to
+  /// those columns; nullptr means all.
   static std::shared_ptr<arrowlite::RecordBatch> MaterializeBlock(
       const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
-      transaction::TransactionContext *txn);
+      transaction::TransactionContext *txn, const std::vector<uint16_t> *projection = nullptr);
 };
 
 }  // namespace mainline::transform

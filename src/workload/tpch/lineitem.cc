@@ -31,7 +31,7 @@ catalog::Schema LineItemSchema() {
 
 storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
-                                    uint64_t num_rows, uint64_t seed) {
+                                    uint64_t num_rows, uint64_t seed, uint64_t batch_size) {
   static const char *kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
                                         "TAKE BACK RETURN"};
   static const char *kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
@@ -71,7 +71,7 @@ storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
       orderkey++;
       linenumber = 1;
     }
-    if ((i + 1) % 10000 == 0) {
+    if (batch_size != 0 && (i + 1) % batch_size == 0) {
       txn_manager->Commit(txn);
       txn = txn_manager->BeginTransaction();
     }

@@ -32,11 +32,14 @@ enum LineItem : uint16_t {
 catalog::Schema LineItemSchema();
 
 /// Deterministic dbgen-style generator for the Figure 1 motivation
-/// experiment. `num_rows` rows are inserted in batches of one transaction per
-/// 10k rows.
+/// experiment and the execution-layer workloads. `num_rows` rows are
+/// inserted in batches of one transaction per `batch_size` rows
+/// (0 = everything in a single transaction). The row contents depend only on
+/// `seed`, never on the batching.
 /// \return the populated table.
 storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
-                                    uint64_t num_rows, uint64_t seed = 7);
+                                    uint64_t num_rows, uint64_t seed = 7,
+                                    uint64_t batch_size = 10000);
 
 }  // namespace mainline::workload::tpch

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rand_util.h"
+#include "common/selection_vector.h"
+
+namespace mainline {
+
+using common::SelectionVector;
+
+TEST(SelectionVectorTest, InitFullSelectsEveryRow) {
+  SelectionVector sel;
+  sel.InitFull(5);
+  ASSERT_EQ(sel.Size(), 5u);
+  EXPECT_FALSE(sel.Empty());
+  for (uint32_t i = 0; i < 5; i++) EXPECT_EQ(sel[i], i);
+
+  // Re-initialization resets any prior refinement and grows capacity.
+  sel.Refine([](uint32_t row) { return row % 2 == 0; });
+  sel.InitFull(9);
+  ASSERT_EQ(sel.Size(), 9u);
+  for (uint32_t i = 0; i < 9; i++) EXPECT_EQ(sel[i], i);
+}
+
+TEST(SelectionVectorTest, InitFullZeroRows) {
+  SelectionVector sel;
+  sel.InitFull(0);
+  EXPECT_EQ(sel.Size(), 0u);
+  EXPECT_TRUE(sel.Empty());
+  EXPECT_EQ(sel.begin(), sel.end());
+  sel.Refine([](uint32_t) { return true; });
+  EXPECT_EQ(sel.Size(), 0u);
+}
+
+TEST(SelectionVectorTest, RefineKeepsMatchesInOrder) {
+  SelectionVector sel;
+  sel.InitFull(10);
+  sel.Refine([](uint32_t row) { return row % 3 == 0; });
+  ASSERT_EQ(sel.Size(), 4u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 3u);
+  EXPECT_EQ(sel[2], 6u);
+  EXPECT_EQ(sel[3], 9u);
+}
+
+TEST(SelectionVectorTest, RefineChainsConjunctively) {
+  const std::vector<int32_t> values = {5, -1, 8, 12, 0, 7, -3, 12, 9, 1};
+  SelectionVector sel;
+  sel.InitFull(static_cast<uint32_t>(values.size()));
+  sel.Refine([&](uint32_t row) { return values[row] > 0; });
+  sel.Refine([&](uint32_t row) { return values[row] < 10; });
+
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i < values.size(); i++) {
+    if (values[i] > 0 && values[i] < 10) expected.push_back(i);
+  }
+  ASSERT_EQ(sel.Size(), expected.size());
+  for (uint32_t i = 0; i < expected.size(); i++) EXPECT_EQ(sel[i], expected[i]);
+}
+
+TEST(SelectionVectorTest, RefineToEmptyAndStayEmpty) {
+  SelectionVector sel;
+  sel.InitFull(6);
+  sel.Refine([](uint32_t) { return false; });
+  EXPECT_EQ(sel.Size(), 0u);
+  EXPECT_TRUE(sel.Empty());
+  // Refining an empty selection is a no-op, not an error.
+  sel.Refine([](uint32_t) { return true; });
+  EXPECT_EQ(sel.Size(), 0u);
+}
+
+TEST(SelectionVectorTest, IterationMatchesIndexing) {
+  SelectionVector sel;
+  sel.InitFull(100);
+  sel.Refine([](uint32_t row) { return row % 7 == 2; });
+
+  uint32_t i = 0;
+  for (const uint32_t row : sel) {
+    EXPECT_EQ(row, sel[i]);
+    i++;
+  }
+  EXPECT_EQ(i, sel.Size());
+
+  uint32_t visited = 0;
+  sel.ForEach([&](uint32_t row) {
+    EXPECT_EQ(row % 7, 2u);
+    visited++;
+  });
+  EXPECT_EQ(visited, sel.Size());
+}
+
+TEST(SelectionVectorTest, RandomizedAgainstReferenceFilter) {
+  common::Xorshift rng(42);
+  for (int round = 0; round < 20; round++) {
+    const auto n = static_cast<uint32_t>(rng.Uniform(0, 2000));
+    std::vector<uint64_t> values(n);
+    for (auto &v : values) v = rng.Uniform(0, 100);
+    const uint64_t threshold = rng.Uniform(0, 100);
+
+    SelectionVector sel;
+    sel.InitFull(n);
+    sel.Refine([&](uint32_t row) { return values[row] < threshold; });
+
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < n; i++) {
+      if (values[i] < threshold) expected.push_back(i);
+    }
+    ASSERT_EQ(sel.Size(), expected.size());
+    for (uint32_t i = 0; i < expected.size(); i++) ASSERT_EQ(sel[i], expected[i]);
+  }
+}
+
+}  // namespace mainline
