@@ -1,14 +1,18 @@
 // In-situ TPC-H: generate LINEITEM, answer Q1 and Q6 with the vectorized
 // execution engine while the table is hot, freeze it through the
 // transformation pipeline, and answer them again — now zero-copy straight
-// out of the frozen Arrow blocks. Every run is checked bit-exactly against
-// the tuple-at-a-time scalar reference, so this doubles as an end-to-end
-// smoke test (non-zero exit on any divergence).
+// out of the frozen Arrow blocks. Each round also runs the morsel-parallel
+// engine across all hardware threads. Every run is checked bit-exactly
+// against the tuple-at-a-time scalar reference (the parallel engine's
+// per-block accumulation makes its result independent of the worker count),
+// so this doubles as an end-to-end smoke test (non-zero exit on any
+// divergence).
 //
 //   $ ./build/examples/tpch_query
 //
 // Knobs: MAINLINE_TPCH_ROWS (default 200000), MAINLINE_TPCH_TXN_ROWS
-// (rows per generator transaction, default 10000).
+// (rows per generator transaction, default 10000), MAINLINE_TPCH_THREADS
+// (parallel-engine workers, default hardware concurrency).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,14 +36,16 @@ int64_t EnvInt(const char *name, int64_t def) {
   return value == nullptr ? def : std::atoll(value);
 }
 
-/// Run Q1 + Q6 on both engines, print the result rows, and verify the
+/// Run Q1 + Q6 on all three engines, print the result rows, and verify the
 /// engines agree bit-exactly.
 /// \return true if every aggregate matched.
 bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, const char *label) {
   const auto q1 = runner->RunQ1(table);
   const auto q1_ref = runner->RunQ1(table, {}, ExecMode::kScalar);
+  const auto q1_par = runner->RunQ1(table, {}, ExecMode::kParallel);
   const auto q6 = runner->RunQ6(table);
   const auto q6_ref = runner->RunQ6(table, {}, ExecMode::kScalar);
+  const auto q6_par = runner->RunQ6(table, {}, ExecMode::kParallel);
 
   std::printf("\n-- %s: %llu rows, %llu blocks zero-copy, %llu blocks materialized --\n",
               label, static_cast<unsigned long long>(q1.stats.rows),
@@ -54,8 +60,10 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, const char *labe
   }
   std::printf("Q6  revenue = %.4f\n", q6.revenue);
 
-  const bool ok = q1.rows == q1_ref.rows && q6.revenue == q6_ref.revenue;
-  std::printf("engines agree bit-exactly: %s\n", ok ? "yes" : "NO — MISMATCH");
+  const bool ok = q1.rows == q1_ref.rows && q6.revenue == q6_ref.revenue &&
+                  q1_par.rows == q1_ref.rows && q6_par.revenue == q6_ref.revenue;
+  std::printf("engines agree bit-exactly (vectorized + %u-thread parallel vs scalar): %s\n",
+              runner->NumThreads(), ok ? "yes" : "NO — MISMATCH");
   return ok;
 }
 
@@ -75,7 +83,8 @@ int main() {
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, rows, /*seed=*/7, txn_rows);
   gc.FullGC();
 
-  QueryRunner runner(&txn_manager);
+  QueryRunner runner(&txn_manager,
+                     static_cast<uint32_t>(EnvInt("MAINLINE_TPCH_THREADS", 0)));
   bool ok = RunAndCheck(&runner, lineitem, "hot table (100% materialized)");
 
   // The table goes cold; the transformation pipeline freezes it into

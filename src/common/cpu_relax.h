@@ -1,0 +1,22 @@
+#pragma once
+
+namespace mainline::common {
+
+/// Tell the CPU this thread is in a spin-wait loop: de-pipelines the core so
+/// the spinning hyperthread stops starving its sibling and the eventual exit
+/// from the loop is cheap. Every busy-wait in the engine (SpinLatch,
+/// BlockAccessController's reader drain) funnels through this so the
+/// architecture dispatch lives in exactly one place.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Unknown architecture: a compiler barrier keeps the loop's load from
+  // being hoisted, which is all correctness needs.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace mainline::common

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/cpu_relax.h"
 #include "common/macros.h"
 
 namespace mainline::common {
@@ -18,7 +19,7 @@ class SpinLatch {
     while (true) {
       if (!latch_.exchange(true, std::memory_order_acquire)) return;
       while (latch_.load(std::memory_order_relaxed)) {
-        __builtin_ia32_pause();
+        CpuRelax();
       }
     }
   }

@@ -27,13 +27,19 @@ class WorkerPool {
   ~WorkerPool() { Shutdown(); }
 
   /// Enqueue a task for execution.
-  void SubmitTask(std::function<void()> task) {
+  /// \return true if the task was accepted; false if the pool has shut down.
+  ///         A task enqueued after Shutdown would never run (the workers are
+  ///         gone), so a later WaitUntilAllFinished would block forever —
+  ///         rejecting it here is what keeps that call deadlock-free.
+  bool SubmitTask(std::function<void()> task) {
     {
       std::lock_guard lock(mutex_);
+      if (shutdown_) return false;
       tasks_.push(std::move(task));
       outstanding_++;
     }
     task_cv_.notify_one();
+    return true;
   }
 
   /// Block until every submitted task has finished.
@@ -72,10 +78,13 @@ class WorkerPool {
       }
       task();
       {
+        // Notify while still holding the mutex: a waiter between its
+        // predicate check and its sleep also holds it, so the decrement and
+        // the notification cannot slip into that gap and strand the waiter.
         std::lock_guard lock(mutex_);
         outstanding_--;
+        done_cv_.notify_all();
       }
-      done_cv_.notify_all();
     }
   }
 

@@ -1,0 +1,63 @@
+#include "execution/parallel_scanner.h"
+
+#include <algorithm>
+
+namespace mainline::execution {
+
+ParallelTableScanner::ParallelTableScanner(storage::SqlTable *table,
+                                           transaction::TransactionContext *txn,
+                                           std::vector<uint16_t> projection)
+    : table_(table),
+      txn_(txn),
+      projection_(std::move(projection)),
+      blocks_(table->UnderlyingTable().Blocks()) {
+  MAINLINE_ASSERT(!projection_.empty(), "scan projection must name at least one column");
+  MAINLINE_ASSERT(std::is_sorted(projection_.begin(), projection_.end()) &&
+                      std::adjacent_find(projection_.begin(), projection_.end()) ==
+                          projection_.end(),
+                  "scan projection must be sorted ascending and duplicate-free");
+  MAINLINE_ASSERT(projection_.back() < table->GetSchema().NumColumns(),
+                  "scan projection column out of range");
+}
+
+void ParallelTableScanner::Scan(common::WorkerPool *pool, const ConsumeFn &consume) {
+  cursor_.store(0, std::memory_order_relaxed);
+  stats_ = ScanStats{};
+  const uint32_t workers = pool == nullptr ? 0 : pool->NumWorkers();
+  worker_stats_.assign(workers == 0 ? 1 : workers, ScanStats{});
+
+  if (workers == 0) {
+    // No usable pool: the cursor machinery still hands out morsels, just to
+    // this one thread.
+    WorkerLoop(0, consume);
+  } else {
+    // One long-running task per worker, each draining the shared cursor —
+    // morsel dispatch is the atomic fetch_add, not the task queue, so the
+    // queue sees O(workers) entries rather than O(blocks).
+    for (uint32_t w = 0; w < workers; w++) {
+      const bool accepted =
+          pool->SubmitTask([this, w, &consume] { WorkerLoop(w, consume); });
+      // A pool shut down between NumWorkers() and here rejects the submit;
+      // run that worker's share inline instead of losing it.
+      if (!accepted) WorkerLoop(w, consume);
+    }
+    pool->WaitUntilAllFinished();
+  }
+
+  for (const ScanStats &s : worker_stats_) stats_.Add(s);
+}
+
+void ParallelTableScanner::WorkerLoop(size_t worker_index, const ConsumeFn &consume) {
+  ScanStats &stats = worker_stats_[worker_index];
+  ColumnVectorBatch batch;
+  while (true) {
+    const size_t ordinal = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (ordinal >= blocks_.size()) return;
+    if (TableScanner::ScanBlock(table_, txn_, projection_, blocks_[ordinal], &batch, &stats)) {
+      consume(ordinal, &batch);
+      batch.Release();
+    }
+  }
+}
+
+}  // namespace mainline::execution

@@ -1,28 +1,49 @@
 #pragma once
 
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/worker_pool.h"
 #include "execution/tpch_queries.h"
 #include "storage/sql_table.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::execution {
 
-/// Which engine answers a query: the vectorized dual-path executor, or the
-/// tuple-at-a-time scalar reference it is benchmarked (and verified) against.
-enum class ExecMode : uint8_t { kVectorized = 0, kScalar };
+/// Which engine answers a query: the vectorized dual-path executor, the
+/// morsel-parallel executor on top of it, or the tuple-at-a-time scalar
+/// reference both are benchmarked (and verified) against. All three return
+/// bit-identical results (see tpch_queries.h on the canonical per-block
+/// accumulation order).
+enum class ExecMode : uint8_t { kVectorized = 0, kScalar, kParallel };
 
 /// Facade over the execution layer: begins a snapshot transaction, runs the
 /// query through the chosen engine, commits, and reports scan statistics —
 /// the one-call entry point examples, benchmarks, and external embedders use
 /// for in-situ analytics over live tables.
+///
+/// The runner owns the worker pool ExecMode::kParallel scans over; it is
+/// created lazily on the first parallel query and sized by the `num_threads`
+/// knob (constructor argument or SetNumThreads; 0 = hardware concurrency).
 class QueryRunner {
  public:
-  explicit QueryRunner(transaction::TransactionManager *txn_manager)
-      : txn_manager_(txn_manager) {}
+  explicit QueryRunner(transaction::TransactionManager *txn_manager, uint32_t num_threads = 0)
+      : txn_manager_(txn_manager), num_threads_(ResolveThreads(num_threads)) {}
 
   DISALLOW_COPY_AND_MOVE(QueryRunner)
+
+  /// \return worker count parallel queries will use.
+  uint32_t NumThreads() const { return num_threads_; }
+
+  /// Resize the parallel worker pool (0 = hardware concurrency). The old
+  /// pool, if any, is drained and joined; the next parallel query builds a
+  /// fresh one.
+  void SetNumThreads(uint32_t num_threads) {
+    num_threads_ = ResolveThreads(num_threads);
+    pool_.reset();
+  }
 
   struct Q1Result {
     std::vector<tpch::Q1Row> rows;
@@ -38,9 +59,17 @@ class QueryRunner {
                  ExecMode mode = ExecMode::kVectorized) {
     Q1Result result;
     transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
-    result.rows = mode == ExecMode::kVectorized
-                      ? tpch::RunQ1(table, txn, params, &result.stats)
-                      : tpch::RunQ1Scalar(table, txn, params, &result.stats);
+    switch (mode) {
+      case ExecMode::kVectorized:
+        result.rows = tpch::RunQ1(table, txn, params, &result.stats);
+        break;
+      case ExecMode::kScalar:
+        result.rows = tpch::RunQ1Scalar(table, txn, params, &result.stats);
+        break;
+      case ExecMode::kParallel:
+        result.rows = tpch::RunQ1Parallel(table, txn, params, Pool(), &result.stats);
+        break;
+    }
     txn_manager_->Commit(txn);
     return result;
   }
@@ -49,15 +78,36 @@ class QueryRunner {
                  ExecMode mode = ExecMode::kVectorized) {
     Q6Result result;
     transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
-    result.revenue = mode == ExecMode::kVectorized
-                         ? tpch::RunQ6(table, txn, params, &result.stats)
-                         : tpch::RunQ6Scalar(table, txn, params, &result.stats);
+    switch (mode) {
+      case ExecMode::kVectorized:
+        result.revenue = tpch::RunQ6(table, txn, params, &result.stats);
+        break;
+      case ExecMode::kScalar:
+        result.revenue = tpch::RunQ6Scalar(table, txn, params, &result.stats);
+        break;
+      case ExecMode::kParallel:
+        result.revenue = tpch::RunQ6Parallel(table, txn, params, Pool(), &result.stats);
+        break;
+    }
     txn_manager_->Commit(txn);
     return result;
   }
 
  private:
+  static uint32_t ResolveThreads(uint32_t num_threads) {
+    if (num_threads != 0) return num_threads;
+    const uint32_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  common::WorkerPool *Pool() {
+    if (pool_ == nullptr) pool_ = std::make_unique<common::WorkerPool>(num_threads_);
+    return pool_.get();
+  }
+
   transaction::TransactionManager *txn_manager_;
+  uint32_t num_threads_;
+  std::unique_ptr<common::WorkerPool> pool_;
 };
 
 }  // namespace mainline::execution

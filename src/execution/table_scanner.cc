@@ -23,53 +23,62 @@ TableScanner::TableScanner(storage::SqlTable *table, transaction::TransactionCon
                   "scan projection column out of range");
 }
 
-uint16_t TableScanner::BatchIndex(uint16_t schema_pos) const {
-  const auto it = std::lower_bound(projection_.begin(), projection_.end(), schema_pos);
-  if (it == projection_.end() || *it != schema_pos) {
-    // Abort in every build: returning any index here would silently read the
-    // wrong column. This runs once per column per scan, never per tuple.
+uint16_t ProjectionIndexOf(const std::vector<uint16_t> &projection, uint16_t schema_pos) {
+  const auto it = std::lower_bound(projection.begin(), projection.end(), schema_pos);
+  if (it == projection.end() || *it != schema_pos) {
     std::fprintf(stderr, "FATAL: schema column %u is not in the scan projection\n",
                  schema_pos);
     std::abort();
   }
-  return static_cast<uint16_t>(it - projection_.begin());
+  return static_cast<uint16_t>(it - projection.begin());
+}
+
+uint16_t TableScanner::BatchIndex(uint16_t schema_pos) const {
+  return ProjectionIndexOf(projection_, schema_pos);
+}
+
+bool TableScanner::ScanBlock(storage::SqlTable *table, transaction::TransactionContext *txn,
+                             const std::vector<uint16_t> &projection, storage::RawBlock *block,
+                             ColumnVectorBatch *out, ScanStats *stats) {
+  storage::DataTable &data_table = table->UnderlyingTable();
+  const catalog::Schema &schema = table->GetSchema();
+
+  if (block->controller.TryAcquireRead()) {
+    // Frozen path: wrap the block's buffers, no copies. The read lock
+    // travels with the batch and is released when the caller is done.
+    auto batch =
+        transform::ArrowReader::FromFrozenBlock(schema, data_table, block, &projection);
+    if (batch != nullptr) {
+      stats->frozen_blocks++;
+      if (batch->num_rows() == 0) {
+        block->controller.ReleaseRead();
+        return false;
+      }
+      stats->rows += static_cast<uint64_t>(batch->num_rows());
+      out->Reset(std::move(batch), AccessPath::kFrozenInSitu, block);
+      return true;
+    }
+    // Frozen but no Arrow metadata: should not happen, but the
+    // transactional path is always correct, so fall through to it.
+    block->controller.ReleaseRead();
+  }
+
+  // Hot path: early materialization of the visible version of every tuple
+  // through the scan transaction.
+  auto batch =
+      transform::ArrowReader::MaterializeBlock(schema, &data_table, block, txn, &projection);
+  stats->hot_blocks++;
+  if (batch->num_rows() == 0) return false;
+  stats->rows += static_cast<uint64_t>(batch->num_rows());
+  out->Reset(std::move(batch), AccessPath::kHotMaterialized, nullptr);
+  return true;
 }
 
 bool TableScanner::Next(ColumnVectorBatch *out) {
-  storage::DataTable &data_table = table_->UnderlyingTable();
-  const catalog::Schema &schema = table_->GetSchema();
   while (next_block_ < blocks_.size()) {
-    storage::RawBlock *block = blocks_[next_block_++];
-
-    if (block->controller.TryAcquireRead()) {
-      // Frozen path: wrap the block's buffers, no copies. The read lock
-      // travels with the batch and is released when the caller is done.
-      auto batch =
-          transform::ArrowReader::FromFrozenBlock(schema, data_table, block, &projection_);
-      if (batch != nullptr) {
-        stats_.frozen_blocks++;
-        if (batch->num_rows() == 0) {
-          block->controller.ReleaseRead();
-          continue;
-        }
-        stats_.rows += static_cast<uint64_t>(batch->num_rows());
-        out->Reset(std::move(batch), AccessPath::kFrozenInSitu, block);
-        return true;
-      }
-      // Frozen but no Arrow metadata: should not happen, but the
-      // transactional path is always correct, so fall through to it.
-      block->controller.ReleaseRead();
+    if (ScanBlock(table_, txn_, projection_, blocks_[next_block_++], out, &stats_)) {
+      return true;
     }
-
-    // Hot path: early materialization of the visible version of every tuple
-    // through the scan transaction.
-    auto batch =
-        transform::ArrowReader::MaterializeBlock(schema, &data_table, block, txn_, &projection_);
-    stats_.hot_blocks++;
-    if (batch->num_rows() == 0) continue;
-    stats_.rows += static_cast<uint64_t>(batch->num_rows());
-    out->Reset(std::move(batch), AccessPath::kHotMaterialized, nullptr);
-    return true;
   }
   return false;
 }

@@ -10,6 +10,12 @@
 
 namespace mainline::execution {
 
+/// \return the index of `schema_pos` within the sorted, duplicate-free
+/// `projection`. Aborts (in every build) when the column is not projected:
+/// any index returned here would silently read the wrong column. Runs once
+/// per column per scan, never per tuple.
+uint16_t ProjectionIndexOf(const std::vector<uint16_t> &projection, uint16_t schema_pos);
+
 /// Counters for one scan: how many blocks each access path served, and how
 /// many visible rows came out. Reported by QueryRunner and figure16.
 struct ScanStats {
@@ -55,6 +61,16 @@ class TableScanner {
   /// \return true if `out` was (re)bound to a new block's data; false when
   ///         the table is exhausted.
   bool Next(ColumnVectorBatch *out);
+
+  /// Scan one block through the dual access path — the unit of work both
+  /// this sequential scanner and ParallelTableScanner's morsels are built
+  /// from. Thread-safe for concurrent calls sharing one read-only `txn`:
+  /// both paths only read transaction state.
+  /// \return true if `out` now holds a non-empty batch (empty blocks still
+  ///         count toward `stats`' block counters).
+  static bool ScanBlock(storage::SqlTable *table, transaction::TransactionContext *txn,
+                        const std::vector<uint16_t> &projection, storage::RawBlock *block,
+                        ColumnVectorBatch *out, ScanStats *stats);
 
   const ScanStats &Stats() const { return stats_; }
 

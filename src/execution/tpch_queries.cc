@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/selection_vector.h"
+#include "execution/parallel_scanner.h"
 #include "execution/vector_ops.h"
 #include "workload/row_util.h"
 #include "workload/tpch/lineitem.h"
@@ -21,7 +22,8 @@ using workload::tpch::L_RETURNFLAG;
 using workload::tpch::L_SHIPDATE;
 using workload::tpch::L_TAX;
 
-/// Running aggregates of one Q1 group.
+/// Running aggregates of one Q1 group — either a per-block partial or the
+/// merged global accumulator; both use the same shape.
 struct Q1Acc {
   std::string returnflag;
   std::string linestatus;
@@ -47,8 +49,24 @@ uint32_t FindOrAddGroup(std::vector<Q1Acc> *groups, std::string_view flag,
   return static_cast<uint32_t>(groups->size() - 1);
 }
 
-/// Finalize accumulators into sorted result rows. The scalar and vectorized
-/// engines share this so the averages divide identically.
+/// Fold one block's Q1 partial into the global accumulators — ONE addition
+/// per aggregate per (block, group), in the partial's group-discovery order.
+/// Every engine funnels through this in block order, which is what pins the
+/// floating-point result shape (see the header's canonical-order note).
+void MergeQ1Partial(std::vector<Q1Acc> *global, const std::vector<Q1Acc> &partial) {
+  for (const Q1Acc &acc : partial) {
+    Q1Acc *dst = &(*global)[FindOrAddGroup(global, acc.returnflag, acc.linestatus)];
+    dst->sum_qty += acc.sum_qty;
+    dst->sum_base_price += acc.sum_base_price;
+    dst->sum_disc_price += acc.sum_disc_price;
+    dst->sum_charge += acc.sum_charge;
+    dst->sum_discount += acc.sum_discount;
+    dst->count += acc.count;
+  }
+}
+
+/// Finalize accumulators into sorted result rows. The engines share this so
+/// the averages divide identically.
 std::vector<Q1Row> FinalizeQ1(std::vector<Q1Acc> groups) {
   std::vector<Q1Row> rows;
   rows.reserve(groups.size());
@@ -73,77 +91,135 @@ std::vector<Q1Row> FinalizeQ1(std::vector<Q1Acc> groups) {
   return rows;
 }
 
+/// Batch column indices of the Q1 projection, resolved once per query.
+struct Q1Columns {
+  uint16_t qty, price, disc, tax, flag, status, ship;
+};
+
+const std::vector<uint16_t> kQ1Projection = {L_QUANTITY,   L_EXTENDEDPRICE, L_DISCOUNT,
+                                             L_TAX,        L_RETURNFLAG,    L_LINESTATUS,
+                                             L_SHIPDATE};
+
+Q1Columns ResolveQ1Columns(const std::vector<uint16_t> &projection) {
+  return {ProjectionIndexOf(projection, L_QUANTITY),
+          ProjectionIndexOf(projection, L_EXTENDEDPRICE),
+          ProjectionIndexOf(projection, L_DISCOUNT),
+          ProjectionIndexOf(projection, L_TAX),
+          ProjectionIndexOf(projection, L_RETURNFLAG),
+          ProjectionIndexOf(projection, L_LINESTATUS),
+          ProjectionIndexOf(projection, L_SHIPDATE)};
+}
+
+/// Compute one batch's (== one block's) Q1 partial: filter on shipdate, then
+/// grouped accumulation in selection order into `partial` (empty on entry).
+void AccumulateQ1Batch(const ColumnVectorBatch &batch, const Q1Params &params,
+                       const Q1Columns &c, SelectionVector *sel,
+                       std::vector<Q1Acc> *partial) {
+  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
+  vector_ops::FilterFixed<uint32_t>(batch.Column(c.ship), sel,
+                                    [&](uint32_t v) { return v <= params.shipdate_max; });
+  if (sel->Empty()) return;
+
+  const double *qty = batch.Column(c.qty).buffer(0)->data_as<double>();
+  const double *price = batch.Column(c.price).buffer(0)->data_as<double>();
+  const double *disc = batch.Column(c.disc).buffer(0)->data_as<double>();
+  const double *tax = batch.Column(c.tax).buffer(0)->data_as<double>();
+  const auto accumulate = [&](Q1Acc *acc, uint32_t row) {
+    acc->sum_qty += qty[row];
+    acc->sum_base_price += price[row];
+    const double disc_price = price[row] * (1.0 - disc[row]);
+    acc->sum_disc_price += disc_price;
+    acc->sum_charge += disc_price * (1.0 + tax[row]);
+    acc->sum_discount += disc[row];
+    acc->count++;
+  };
+
+  const arrowlite::Array &flag = batch.Column(c.flag);
+  const arrowlite::Array &status = batch.Column(c.status);
+  if (flag.type() == arrowlite::Type::kDictionary &&
+      status.type() == arrowlite::Type::kDictionary) {
+    // Dictionary-encoded batch (frozen, dictionary gather mode): the group
+    // key collapses to a (flag code, status code) pair, so grouping is a
+    // direct lookup in a dense code-pair table — no strings, no hashing.
+    const auto num_status = static_cast<uint32_t>(status.dictionary()->length());
+    std::vector<int32_t> group_of_pair(flag.dictionary()->length() * num_status, -1);
+    const int32_t *flag_codes = flag.buffer(0)->data_as<int32_t>();
+    const int32_t *status_codes = status.buffer(0)->data_as<int32_t>();
+    sel->ForEach([&](uint32_t row) {
+      const uint32_t key = static_cast<uint32_t>(flag_codes[row]) * num_status +
+                           static_cast<uint32_t>(status_codes[row]);
+      int32_t g = group_of_pair[key];
+      if (UNLIKELY(g < 0)) {
+        g = static_cast<int32_t>(
+            FindOrAddGroup(partial, flag.dictionary()->GetString(flag_codes[row]),
+                           status.dictionary()->GetString(status_codes[row])));
+        group_of_pair[key] = g;
+      }
+      accumulate(&(*partial)[static_cast<uint32_t>(g)], row);
+    });
+  } else {
+    sel->ForEach([&](uint32_t row) {
+      const uint32_t g = FindOrAddGroup(partial, flag.GetString(row), status.GetString(row));
+      accumulate(&(*partial)[g], row);
+    });
+  }
+}
+
+/// One block's Q6 partial. `selected` gates the merge: a block with no
+/// qualifying rows contributes no merge addition in any engine.
+struct Q6Partial {
+  double revenue = 0;
+  uint64_t selected = 0;
+};
+
+/// Batch column indices of the Q6 projection.
+struct Q6Columns {
+  uint16_t qty, price, disc, ship;
+};
+
+const std::vector<uint16_t> kQ6Projection = {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT,
+                                             L_SHIPDATE};
+
+Q6Columns ResolveQ6Columns(const std::vector<uint16_t> &projection) {
+  return {ProjectionIndexOf(projection, L_QUANTITY),
+          ProjectionIndexOf(projection, L_EXTENDEDPRICE),
+          ProjectionIndexOf(projection, L_DISCOUNT),
+          ProjectionIndexOf(projection, L_SHIPDATE)};
+}
+
+Q6Partial AccumulateQ6Batch(const ColumnVectorBatch &batch, const Q6Params &params,
+                            const Q6Columns &c, SelectionVector *sel) {
+  Q6Partial partial;
+  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
+  vector_ops::FilterRange<uint32_t>(batch.Column(c.ship), sel, params.shipdate_min,
+                                    params.shipdate_max);
+  vector_ops::FilterFixed<double>(batch.Column(c.disc), sel, [&](double v) {
+    return params.discount_min <= v && v <= params.discount_max;
+  });
+  vector_ops::FilterFixed<double>(batch.Column(c.qty), sel,
+                                  [&](double v) { return v < params.quantity_max; });
+  partial.selected = sel->Size();
+  vector_ops::AccumulateDotProduct(batch.Column(c.price), batch.Column(c.disc), *sel,
+                                   &partial.revenue);
+  return partial;
+}
+
 }  // namespace
 
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
                          const Q1Params &params, ScanStats *stats) {
-  TableScanner scanner(
-      table, txn,
-      {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_TAX, L_RETURNFLAG, L_LINESTATUS, L_SHIPDATE});
-  const uint16_t c_qty = scanner.BatchIndex(L_QUANTITY);
-  const uint16_t c_price = scanner.BatchIndex(L_EXTENDEDPRICE);
-  const uint16_t c_disc = scanner.BatchIndex(L_DISCOUNT);
-  const uint16_t c_tax = scanner.BatchIndex(L_TAX);
-  const uint16_t c_flag = scanner.BatchIndex(L_RETURNFLAG);
-  const uint16_t c_status = scanner.BatchIndex(L_LINESTATUS);
-  const uint16_t c_ship = scanner.BatchIndex(L_SHIPDATE);
+  TableScanner scanner(table, txn, kQ1Projection);
+  const Q1Columns cols = ResolveQ1Columns(scanner.Projection());
 
   std::vector<Q1Acc> groups;
+  std::vector<Q1Acc> partial;
   SelectionVector sel;
   ColumnVectorBatch batch;
   while (scanner.Next(&batch)) {
-    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
-    vector_ops::FilterFixed<uint32_t>(batch.Column(c_ship), &sel,
-                                      [&](uint32_t v) { return v <= params.shipdate_max; });
-    if (sel.Empty()) {
-      batch.Release();
-      continue;
-    }
-
-    const double *qty = batch.Column(c_qty).buffer(0)->data_as<double>();
-    const double *price = batch.Column(c_price).buffer(0)->data_as<double>();
-    const double *disc = batch.Column(c_disc).buffer(0)->data_as<double>();
-    const double *tax = batch.Column(c_tax).buffer(0)->data_as<double>();
-    const auto accumulate = [&](Q1Acc *acc, uint32_t row) {
-      acc->sum_qty += qty[row];
-      acc->sum_base_price += price[row];
-      const double disc_price = price[row] * (1.0 - disc[row]);
-      acc->sum_disc_price += disc_price;
-      acc->sum_charge += disc_price * (1.0 + tax[row]);
-      acc->sum_discount += disc[row];
-      acc->count++;
-    };
-
-    const arrowlite::Array &flag = batch.Column(c_flag);
-    const arrowlite::Array &status = batch.Column(c_status);
-    if (flag.type() == arrowlite::Type::kDictionary &&
-        status.type() == arrowlite::Type::kDictionary) {
-      // Dictionary-encoded batch (frozen, dictionary gather mode): the group
-      // key collapses to a (flag code, status code) pair, so grouping is a
-      // direct lookup in a dense code-pair table — no strings, no hashing.
-      const auto num_status = static_cast<uint32_t>(status.dictionary()->length());
-      std::vector<int32_t> group_of_pair(flag.dictionary()->length() * num_status, -1);
-      const int32_t *flag_codes = flag.buffer(0)->data_as<int32_t>();
-      const int32_t *status_codes = status.buffer(0)->data_as<int32_t>();
-      sel.ForEach([&](uint32_t row) {
-        const uint32_t key = static_cast<uint32_t>(flag_codes[row]) * num_status +
-                             static_cast<uint32_t>(status_codes[row]);
-        int32_t g = group_of_pair[key];
-        if (UNLIKELY(g < 0)) {
-          g = static_cast<int32_t>(
-              FindOrAddGroup(&groups, flag.dictionary()->GetString(flag_codes[row]),
-                             status.dictionary()->GetString(status_codes[row])));
-          group_of_pair[key] = g;
-        }
-        accumulate(&groups[static_cast<uint32_t>(g)], row);
-      });
-    } else {
-      sel.ForEach([&](uint32_t row) {
-        const uint32_t g = FindOrAddGroup(&groups, flag.GetString(row), status.GetString(row));
-        accumulate(&groups[g], row);
-      });
-    }
+    partial.clear();
+    AccumulateQ1Batch(batch, params, cols, &sel, &partial);
     batch.Release();
+    MergeQ1Partial(&groups, partial);
   }
   if (stats != nullptr) stats->Add(scanner.Stats());
   return FinalizeQ1(std::move(groups));
@@ -151,27 +227,55 @@ std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionConte
 
 double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
              const Q6Params &params, ScanStats *stats) {
-  TableScanner scanner(table, txn, {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_SHIPDATE});
-  const uint16_t c_qty = scanner.BatchIndex(L_QUANTITY);
-  const uint16_t c_price = scanner.BatchIndex(L_EXTENDEDPRICE);
-  const uint16_t c_disc = scanner.BatchIndex(L_DISCOUNT);
-  const uint16_t c_ship = scanner.BatchIndex(L_SHIPDATE);
+  TableScanner scanner(table, txn, kQ6Projection);
+  const Q6Columns cols = ResolveQ6Columns(scanner.Projection());
 
   double revenue = 0;
   SelectionVector sel;
   ColumnVectorBatch batch;
   while (scanner.Next(&batch)) {
-    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
-    vector_ops::FilterRange<uint32_t>(batch.Column(c_ship), &sel, params.shipdate_min,
-                                      params.shipdate_max);
-    vector_ops::FilterFixed<double>(batch.Column(c_disc), &sel, [&](double v) {
-      return params.discount_min <= v && v <= params.discount_max;
-    });
-    vector_ops::FilterFixed<double>(batch.Column(c_qty), &sel,
-                                    [&](double v) { return v < params.quantity_max; });
-    vector_ops::AccumulateDotProduct(batch.Column(c_price), batch.Column(c_disc), sel,
-                                     &revenue);
+    const Q6Partial partial = AccumulateQ6Batch(batch, params, cols, &sel);
     batch.Release();
+    if (partial.selected != 0) revenue += partial.revenue;
+  }
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return revenue;
+}
+
+std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
+                                 transaction::TransactionContext *txn, const Q1Params &params,
+                                 common::WorkerPool *pool, ScanStats *stats) {
+  ParallelTableScanner scanner(table, txn, kQ1Projection);
+  const Q1Columns cols = ResolveQ1Columns(scanner.Projection());
+
+  // One partial slot per block ordinal: workers write disjoint slots, the
+  // merge below reads them in block order — no locks, deterministic result.
+  std::vector<std::vector<Q1Acc>> partials(scanner.NumBlocks());
+  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
+    SelectionVector sel;
+    AccumulateQ1Batch(*batch, params, cols, &sel, &partials[ordinal]);
+  });
+
+  std::vector<Q1Acc> groups;
+  for (const std::vector<Q1Acc> &partial : partials) MergeQ1Partial(&groups, partial);
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return FinalizeQ1(std::move(groups));
+}
+
+double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
+                     const Q6Params &params, common::WorkerPool *pool, ScanStats *stats) {
+  ParallelTableScanner scanner(table, txn, kQ6Projection);
+  const Q6Columns cols = ResolveQ6Columns(scanner.Projection());
+
+  std::vector<Q6Partial> partials(scanner.NumBlocks());
+  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
+    SelectionVector sel;
+    partials[ordinal] = AccumulateQ6Batch(*batch, params, cols, &sel);
+  });
+
+  double revenue = 0;
+  for (const Q6Partial &partial : partials) {
+    if (partial.selected != 0) revenue += partial.revenue;
   }
   if (stats != nullptr) stats->Add(scanner.Stats());
   return revenue;
@@ -182,20 +286,30 @@ namespace {
 /// Drive `visit(row)` over every tuple visible to `txn`, one
 /// DataTable::Select at a time — the classic iterator-model baseline. The
 /// projection must be sorted ascending; `visit` receives ProjectedRow
-/// indices in the same order.
-template <typename Visit>
+/// indices in the same order. `block_done()` fires after the last slot of
+/// each block, so callers can fold per-block partials in block order —
+/// mirroring the vectorized engines' batch boundaries exactly.
+template <typename Visit, typename BlockDone>
 void ScalarScan(storage::SqlTable *table, transaction::TransactionContext *txn,
-                const std::vector<uint16_t> &projection, ScanStats *stats, Visit visit) {
+                const std::vector<uint16_t> &projection, ScanStats *stats, Visit visit,
+                BlockDone block_done) {
   const storage::ProjectedRowInitializer initializer =
       table->InitializerForColumns(projection);
   std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
   uint64_t rows = 0;
+  storage::RawBlock *current = nullptr;
   for (storage::DataTable::SlotIterator it = table->begin(); !it.Done(); ++it) {
+    storage::RawBlock *block = it.CurrentBlock();
+    if (block != current) {
+      if (current != nullptr) block_done();
+      current = block;
+    }
     storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
     if (!table->Select(txn, *it, row)) continue;
     rows++;
     visit(*row);
   }
+  if (current != nullptr) block_done();
   if (stats != nullptr) stats->rows += rows;
 }
 
@@ -207,14 +321,14 @@ std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::Transactio
   const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_tax = 3, p_flag = 4, p_status = 5,
                  p_ship = 6;
   std::vector<Q1Acc> groups;
+  std::vector<Q1Acc> partial;
   ScalarScan(
-      table, txn,
-      {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_TAX, L_RETURNFLAG, L_LINESTATUS, L_SHIPDATE},
-      stats, [&](const storage::ProjectedRow &row) {
+      table, txn, kQ1Projection, stats,
+      [&](const storage::ProjectedRow &row) {
         if (workload::Get<uint32_t>(row, p_ship) > params.shipdate_max) return;
-        const uint32_t g = FindOrAddGroup(&groups, workload::GetVarchar(row, p_flag),
+        const uint32_t g = FindOrAddGroup(&partial, workload::GetVarchar(row, p_flag),
                                           workload::GetVarchar(row, p_status));
-        Q1Acc *acc = &groups[g];
+        Q1Acc *acc = &partial[g];
         const double qty = workload::Get<double>(row, p_qty);
         const double price = workload::Get<double>(row, p_price);
         const double disc = workload::Get<double>(row, p_disc);
@@ -226,6 +340,10 @@ std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::Transactio
         acc->sum_charge += disc_price * (1.0 + tax);
         acc->sum_discount += disc;
         acc->count++;
+      },
+      [&] {
+        MergeQ1Partial(&groups, partial);
+        partial.clear();
       });
   return FinalizeQ1(std::move(groups));
 }
@@ -234,15 +352,22 @@ double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *tx
                    const Q6Params &params, ScanStats *stats) {
   const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_ship = 3;
   double revenue = 0;
-  ScalarScan(table, txn, {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT, L_SHIPDATE}, stats,
-             [&](const storage::ProjectedRow &row) {
-               const uint32_t ship = workload::Get<uint32_t>(row, p_ship);
-               if (ship < params.shipdate_min || ship >= params.shipdate_max) return;
-               const double disc = workload::Get<double>(row, p_disc);
-               if (disc < params.discount_min || disc > params.discount_max) return;
-               if (workload::Get<double>(row, p_qty) >= params.quantity_max) return;
-               revenue += workload::Get<double>(row, p_price) * disc;
-             });
+  Q6Partial partial;
+  ScalarScan(
+      table, txn, kQ6Projection, stats,
+      [&](const storage::ProjectedRow &row) {
+        const uint32_t ship = workload::Get<uint32_t>(row, p_ship);
+        if (ship < params.shipdate_min || ship >= params.shipdate_max) return;
+        const double disc = workload::Get<double>(row, p_disc);
+        if (disc < params.discount_min || disc > params.discount_max) return;
+        if (workload::Get<double>(row, p_qty) >= params.quantity_max) return;
+        partial.selected++;
+        partial.revenue += workload::Get<double>(row, p_price) * disc;
+      },
+      [&] {
+        if (partial.selected != 0) revenue += partial.revenue;
+        partial = Q6Partial{};
+      });
   return revenue;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "execution/table_scanner.h"
 #include "storage/sql_table.h"
 #include "transaction/transaction_context.h"
@@ -44,6 +45,15 @@ struct Q6Params {
   double quantity_max = 24.0;    ///< l_quantity <  quantity_max
 };
 
+/// All three engines (scalar reference, vectorized, morsel-parallel) share
+/// one canonical accumulation order: floating-point aggregates are built as
+/// PER-BLOCK partials — each accumulated row-at-a-time in slot order from
+/// zero — and the partials are folded into the final result in block
+/// (allocation) order. Fixing the reduction-tree shape at block granularity
+/// is what makes every engine's answer bit-identical regardless of worker
+/// count: a parallel scan computes the same partials on different threads
+/// and merges them in the same order.
+
 /// Vectorized Q1 over the dual-path scanner: filter with a selection vector,
 /// then hash-free grouped aggregation on (l_returnflag, l_linestatus) —
 /// dictionary-encoded batches aggregate by direct code-pair addressing, never
@@ -58,10 +68,23 @@ std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionConte
 double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
              const Q6Params &params, ScanStats *stats = nullptr);
 
+/// Morsel-parallel Q1: block-granular morsels over `pool`'s workers, one Q1
+/// partial per block, merged in block order. Bit-exact with RunQ1 and
+/// RunQ1Scalar for any worker count. `txn` must stay read-only while the
+/// scan runs (workers share it).
+std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
+                                 transaction::TransactionContext *txn, const Q1Params &params,
+                                 common::WorkerPool *pool, ScanStats *stats = nullptr);
+
+/// Morsel-parallel Q6; same contract as RunQ1Parallel.
+double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
+                     const Q6Params &params, common::WorkerPool *pool,
+                     ScanStats *stats = nullptr);
+
 /// Scalar tuple-at-a-time Q1 reference: one DataTable::Select per slot, row
-/// predicates and accumulation in scan order — the baseline figure16
-/// compares the vectorized engine against, and the oracle the execution
-/// tests demand bit-equal results from.
+/// predicates in scan order, partials per block — the baseline figure16
+/// compares the other engines against, and the oracle the execution tests
+/// demand bit-equal results from.
 std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
                                const Q1Params &params, ScanStats *stats = nullptr);
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/cpu_relax.h"
 #include "common/macros.h"
 
 namespace mainline::storage {
@@ -77,7 +78,7 @@ class BlockAccessController {
       if (word_.compare_exchange_weak(current, desired, std::memory_order_acq_rel)) break;
     }
     // Wait for lingering in-place readers to leave the block.
-    while (ReaderCount() != 0) __builtin_ia32_pause();
+    while (ReaderCount() != 0) common::CpuRelax();
   }
 
   /// Transformation thread: announce intent to freeze. Only valid from hot.

@@ -1,5 +1,7 @@
 #include "transform/arrow_reader.h"
 
+#include <cstring>
+
 #include "arrowlite/builder.h"
 #include "common/raw_bitmap.h"
 #include "storage/arrow_block_metadata.h"
@@ -65,7 +67,6 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
   const uint32_t n = metadata->NumRecords();
   const std::vector<uint16_t> positions = ProjectedPositions(schema, projection);
 
-  bool any_dictionary = false;
   std::vector<std::shared_ptr<arrowlite::Array>> columns;
   for (const uint16_t i : positions) {
     const storage::col_id_t col(i);
@@ -96,7 +97,6 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
         break;
       }
       case storage::ArrowColumnType::kDictionaryCompressed: {
-        any_dictionary = true;
         auto dict_offsets = arrowlite::Buffer::Wrap(
             reinterpret_cast<const byte *>(info.dictionary.offsets.get()),
             sizeof(int32_t) * (info.dictionary_size + 1));
@@ -118,7 +118,12 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::FromFrozenBlock(
   fields.reserve(positions.size());
   for (const uint16_t i : positions) {
     const catalog::Column &col = schema.GetColumn(i);
-    fields.emplace_back(col.Name(), ToArrowType(col.Type(), any_dictionary), col.Nullable());
+    // Each field's Arrow type comes from that column's own physical
+    // representation: gathering modes are per column, so one batch can mix
+    // plain-gathered and dictionary-compressed varlens.
+    const bool dictionary =
+        metadata->Column(i).type == storage::ArrowColumnType::kDictionaryCompressed;
+    fields.emplace_back(col.Name(), ToArrowType(col.Type(), dictionary), col.Nullable());
   }
   return std::make_shared<arrowlite::RecordBatch>(
       std::make_shared<arrowlite::Schema>(std::move(fields)), n, std::move(columns));
@@ -141,6 +146,7 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
     transaction::TransactionContext *txn, const std::vector<uint16_t> *projection) {
   const storage::BlockLayout &layout = table->GetLayout();
+  const storage::TupleAccessStrategy &accessor = table->Accessor();
   const std::vector<uint16_t> positions = ProjectedPositions(schema, projection);
   // Schema position i == physical column id i, and a sorted projection's
   // ProjectedRow indices line up with `positions` one-to-one.
@@ -149,7 +155,6 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
   for (const uint16_t i : positions) col_ids.emplace_back(i);
   const storage::ProjectedRowInitializer initializer =
       storage::ProjectedRowInitializer::Create(layout, std::move(col_ids));
-  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
 
   // One builder per column, dispatched by width.
   std::vector<std::unique_ptr<arrowlite::FixedBuilder<uint8_t>>> b1;
@@ -193,39 +198,109 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
   }
 
   const uint32_t limit = block->insert_head.load(std::memory_order_acquire);
-  int64_t rows = 0;
+
+  // Column-at-a-time fast path (the figure16 hot-path bottleneck): instead of
+  // one DataTable::Select per slot, snapshot the projected columns straight
+  // out of block storage with one memcpy each, then decide per slot whether
+  // the snapshot is usable. The ordering mirrors Select's torn-read protocol,
+  // hoisted to block granularity: copy the data FIRST, read each slot's
+  // version pointer AFTERWARDS (seq_cst). Writers install their undo record
+  // before touching the block, and the GC only truncates a chain whose every
+  // version predates the oldest active transaction — so a slot whose pointer
+  // still reads null after the copy cannot have been written concurrently,
+  // and its snapshot bytes are the committed version visible to any live
+  // snapshot. Slots with a chain fall back to per-tuple Select.
+  struct ColumnSnapshot {
+    std::vector<byte> values;
+    std::vector<uint8_t> valid;  // LSB-first presence bits, Arrow layout
+  };
+  std::vector<ColumnSnapshot> snap(positions.size());
+  for (uint16_t p = 0; p < positions.size(); p++) {
+    const storage::col_id_t col(positions[p]);
+    ColumnSnapshot &s = snap[p];
+    s.values.resize(static_cast<size_t>(layout.AttrSize(col)) * limit);
+    std::memcpy(s.values.data(), accessor.ColumnStart(block, col), s.values.size());
+    s.valid.resize(common::BitmapSize(limit));
+    std::memcpy(s.valid.data(),
+                reinterpret_cast<const byte *>(accessor.ColumnNullBitmap(block, col)),
+                s.valid.size());
+  }
+
+  // Validate slot-by-slot, building the visible-row list in slot order: a
+  // chain-free slot is visible iff its allocation bit is set; a slot with a
+  // version chain resolves through Select into its own kept-alive buffer.
+  struct RowRef {
+    uint32_t offset;
+    int32_t slow;  // index into slow_rows, or -1 to read the column snapshot
+  };
+  std::vector<RowRef> visible;
+  visible.reserve(limit);
+  std::vector<std::vector<byte>> slow_buffers;
+  std::vector<storage::ProjectedRow *> slow_rows;
+  const common::RawConcurrentBitmap *allocated = accessor.AllocationBitmap(block);
   for (uint32_t offset = 0; offset < limit; offset++) {
     const storage::TupleSlot slot(block, offset);
-    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
-    if (!table->Select(txn, slot, row)) continue;
-    rows++;
-    for (uint16_t p = 0; p < positions.size(); p++) {
-      // ProjectedRow index `p` maps to schema column `positions[p]` because
-      // both orders are ascending by column id.
-      const byte *value = row->AccessWithNullCheck(p);
-      const Dispatch d = dispatch[p];
-      switch (d.kind) {
-        case 0:
-          AppendFixed(b1[d.idx].get(), value);
-          break;
-        case 1:
-          AppendFixed(b2[d.idx].get(), value);
-          break;
-        case 2:
-          AppendFixed(b4[d.idx].get(), value);
-          break;
-        case 3:
-          AppendFixed(b8[d.idx].get(), value);
-          break;
-        case 4:
+    // Allocation bit BEFORE version pointer, exactly like Select: writers
+    // install their undo record before publishing (insert: SetAllocated
+    // last) or unpublishing (delete: SetDeallocated last) the bit, so a
+    // bit read that races a writer is always paired with a non-null
+    // pointer read below and routed to the slow path. Reading the pointer
+    // first would let a concurrent insert slip between the two loads and
+    // serve an uncommitted row from the pre-write snapshot.
+    const bool present = allocated->Test(offset);
+    if (accessor.VersionPtr(slot).load(std::memory_order_seq_cst) == nullptr) {
+      if (present) visible.push_back({offset, -1});
+      continue;
+    }
+    slow_buffers.emplace_back(initializer.ProjectedRowSize() + 8);
+    storage::ProjectedRow *row = initializer.InitializeRow(slow_buffers.back().data());
+    if (table->Select(txn, slot, row)) {
+      visible.push_back({offset, static_cast<int32_t>(slow_rows.size())});
+      slow_rows.push_back(row);
+    } else {
+      slow_buffers.pop_back();
+    }
+  }
+  const int64_t rows = static_cast<int64_t>(visible.size());
+
+  // Emit column-at-a-time: each projected column walks the visible-row list
+  // in one tight loop, reading the snapshot for fast rows and the
+  // materialized ProjectedRow for slow ones.
+  for (uint16_t p = 0; p < positions.size(); p++) {
+    const storage::col_id_t col(positions[p]);
+    const uint32_t attr_size = layout.AttrSize(col);
+    const byte *values = snap[p].values.data();
+    const uint8_t *valid = snap[p].valid.data();
+    const auto value_of = [&](const RowRef &r) -> const byte * {
+      if (r.slow >= 0) return slow_rows[static_cast<size_t>(r.slow)]->AccessWithNullCheck(p);
+      const bool present = (valid[r.offset / 8] >> (r.offset % 8)) & 1u;
+      return present ? values + static_cast<size_t>(attr_size) * r.offset : nullptr;
+    };
+    const Dispatch d = dispatch[p];
+    switch (d.kind) {
+      case 0:
+        for (const RowRef &r : visible) AppendFixed(b1[d.idx].get(), value_of(r));
+        break;
+      case 1:
+        for (const RowRef &r : visible) AppendFixed(b2[d.idx].get(), value_of(r));
+        break;
+      case 2:
+        for (const RowRef &r : visible) AppendFixed(b4[d.idx].get(), value_of(r));
+        break;
+      case 3:
+        for (const RowRef &r : visible) AppendFixed(b8[d.idx].get(), value_of(r));
+        break;
+      case 4:
+        for (const RowRef &r : visible) {
+          const byte *value = value_of(r);
           if (value == nullptr) {
             bs[d.idx]->AppendNull();
           } else {
             bs[d.idx]->Append(
                 reinterpret_cast<const storage::VarlenEntry *>(value)->StringView());
           }
-          break;
-      }
+        }
+        break;
     }
   }
 

@@ -40,8 +40,14 @@ class ArrowReader {
   /// freshly built RecordBatch, resolving versions through `txn`. This is the
   /// expensive path Arrow-native storage avoids for cold data, and also the
   /// "Snapshot" baseline of Figure 12. `projection` (schema column positions,
-  /// sorted ascending) restricts both the batch and the per-tuple Select to
+  /// sorted ascending) restricts both the batch and the per-tuple work to
   /// those columns; nullptr means all.
+  ///
+  /// Slots without a version chain — the bulk of a hot block once the GC has
+  /// pruned insert records — are gathered column-at-a-time straight from
+  /// block storage (copy first, validate the version pointer after, the same
+  /// torn-read protocol DataTable::Select uses); only slots with a live chain
+  /// pay a per-tuple Select.
   static std::shared_ptr<arrowlite::RecordBatch> MaterializeBlock(
       const catalog::Schema &schema, storage::DataTable *table, storage::RawBlock *block,
       transaction::TransactionContext *txn, const std::vector<uint16_t> *projection = nullptr);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,7 +15,9 @@
 #include "execution/tpch_queries.h"
 #include "execution/vector_ops.h"
 #include "gc/garbage_collector.h"
+#include "storage/arrow_block_metadata.h"
 #include "transform/access_observer.h"
+#include "transform/arrow_reader.h"
 #include "transform/block_transformer.h"
 #include "transform/transform_pipeline.h"
 #include "workload/row_util.h"
@@ -379,6 +383,97 @@ TEST_P(ExecutionTest, Q6StaysConsistentUnderConcurrentWritesAndTransform) {
   EXPECT_GT(aggregate.frozen_blocks, 0u) << "no scan ever took the zero-copy path";
   EXPECT_GT(aggregate.hot_blocks, 0u) << "no scan ever took the materialization path";
   gc_.FullGC();
+}
+
+/// Regression test for the frozen-batch field-typing bug: FromFrozenBlock
+/// used to tag EVERY varchar field kDictionary as soon as ANY column in the
+/// batch was dictionary-compressed, mislabeling plain-gathered columns. The
+/// transformer's gather mode is per block, so the mixed state is built by
+/// hand: freeze in varlen-gather mode, then convert one column's metadata to
+/// dictionary compression — one gathered + one dictionary varchar in the
+/// same block.
+TEST(FrozenBatchFieldTypingTest, MixedGatherAndDictionaryColumnsTypeIndependently) {
+  namespace tpch = workload::tpch;
+  storage::BlockStore block_store(200, 10);
+  storage::RecordBufferSegmentPool buffer_pool(1000000, 100);
+  catalog::Catalog catalog(&block_store);
+  transaction::TransactionManager txn_manager(&buffer_pool, true, nullptr);
+  gc::GarbageCollector gc(&txn_manager);
+  transform::BlockTransformer transformer(&txn_manager, &gc, GatherMode::kVarlenGather);
+
+  storage::SqlTable *table =
+      workload::tpch::GenerateLineItem(&catalog, &txn_manager, 500, /*seed=*/7,
+                                       /*batch_size=*/0);
+  gc.FullGC();
+  storage::DataTable &dt = table->UnderlyingTable();
+  storage::RawBlock *block = dt.Blocks().front();
+  ASSERT_EQ(transformer.ProcessGroup(&dt, {block}, nullptr), 1u);
+  gc.FullGC();
+  ASSERT_EQ(block->controller.GetState(), BlockState::kFrozen);
+  storage::ArrowBlockMetadata *metadata = block->arrow_metadata;
+  ASSERT_NE(metadata, nullptr);
+  const uint32_t n = metadata->NumRecords();
+  ASSERT_GT(n, 0u);
+
+  // Convert l_returnflag (3 distinct values) to dictionary compression from
+  // its gathered buffers, leaving l_linestatus plain-gathered.
+  storage::ArrowColumnInfo &info = metadata->Column(tpch::L_RETURNFLAG);
+  ASSERT_EQ(info.type, storage::ArrowColumnType::kGatheredVarlen);
+  const auto word_at = [&](uint32_t row) {
+    return std::string_view(
+        reinterpret_cast<const char *>(info.varlen.values.get()) + info.varlen.offsets[row],
+        static_cast<size_t>(info.varlen.offsets[row + 1] - info.varlen.offsets[row]));
+  };
+  std::map<std::string_view, int32_t> dict;
+  for (uint32_t row = 0; row < n; row++) dict.emplace(word_at(row), 0);
+  uint64_t dict_bytes = 0;
+  int32_t next_code = 0;
+  for (auto &[word, code] : dict) {
+    code = next_code++;
+    dict_bytes += word.size();
+  }
+  info.dictionary.values = std::make_unique<byte[]>(dict_bytes);
+  info.dictionary.offsets = std::make_unique<int32_t[]>(dict.size() + 1);
+  info.dictionary.values_size = dict_bytes;
+  info.dictionary_size = static_cast<uint32_t>(dict.size());
+  uint64_t offset = 0;
+  int32_t d = 0;
+  for (const auto &[word, code] : dict) {
+    info.dictionary.offsets[d++] = static_cast<int32_t>(offset);
+    std::memcpy(info.dictionary.values.get() + offset, word.data(), word.size());
+    offset += word.size();
+  }
+  info.dictionary.offsets[d] = static_cast<int32_t>(offset);
+  info.indices = std::make_unique<int32_t[]>(n);
+  for (uint32_t row = 0; row < n; row++) info.indices[row] = dict.find(word_at(row))->second;
+  info.type = storage::ArrowColumnType::kDictionaryCompressed;
+
+  ASSERT_TRUE(block->controller.TryAcquireRead());
+  const auto batch = transform::ArrowReader::FromFrozenBlock(table->GetSchema(), dt, block);
+  ASSERT_NE(batch, nullptr);
+
+  // Each field must carry ITS column's physical type: the dictionary column
+  // kDictionary, the gathered one kString (the bug stamped it kDictionary
+  // because a sibling column was compressed), fixed columns untouched.
+  const arrowlite::Schema &schema = *batch->schema();
+  EXPECT_EQ(schema.field(tpch::L_RETURNFLAG).type(), arrowlite::Type::kDictionary);
+  EXPECT_EQ(schema.field(tpch::L_LINESTATUS).type(), arrowlite::Type::kString);
+  EXPECT_EQ(schema.field(tpch::L_COMMENT).type(), arrowlite::Type::kString);
+  EXPECT_EQ(schema.field(tpch::L_QUANTITY).type(), arrowlite::Type::kFloat64);
+  EXPECT_EQ(schema.field(tpch::L_SHIPDATE).type(), arrowlite::Type::kUInt32);
+
+  // The arrays themselves agree with the field tags, and the dictionary
+  // round-trips the original values.
+  const arrowlite::Array &flag = *batch->column(tpch::L_RETURNFLAG);
+  const arrowlite::Array &status = *batch->column(tpch::L_LINESTATUS);
+  ASSERT_EQ(flag.type(), arrowlite::Type::kDictionary);
+  ASSERT_EQ(status.type(), arrowlite::Type::kString);
+  EXPECT_EQ(flag.dictionary()->length(), static_cast<int64_t>(dict.size()));
+  for (uint32_t row = 0; row < n; row++) {
+    EXPECT_EQ(flag.GetString(row), word_at(row));
+  }
+  block->controller.ReleaseRead();
+  gc.FullGC();
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, ExecutionTest,
