@@ -108,4 +108,38 @@ double TimeSeconds(F &&fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
+/// Best-of-`reps` throughput of `run` in million rows per second, where
+/// `rows` is the row count one invocation covers.
+template <typename F>
+double MRowsPerSecond(uint64_t rows, int64_t reps, F &&run) {
+  double best = 0;
+  for (int64_t r = 0; r < reps; r++) {
+    const double seconds = TimeSeconds(run);
+    const double mrps = static_cast<double>(rows) / 1e6 / seconds;
+    if (mrps > best) best = mrps;
+  }
+  return best;
+}
+
+/// Parse a comma-separated worker-count list from environment variable
+/// `name` ("1,2,4,8"); non-positive or malformed tokens are dropped and an
+/// empty result falls back to the default sweep.
+inline std::vector<uint32_t> EnvThreadList(const char *name) {
+  const char *env = std::getenv(name);
+  const std::string spec = env == nullptr ? "1,2,4,8" : env;
+  std::vector<uint32_t> threads;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos : comma - pos);
+    const long value = std::atol(token.c_str());
+    if (value > 0) threads.push_back(static_cast<uint32_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
 }  // namespace mainline::bench

@@ -53,37 +53,6 @@ std::unique_ptr<Engine> BuildLineItem(uint64_t rows, uint64_t txn_rows,
   return engine;
 }
 
-/// Best-of-`reps` throughput in million rows scanned per second.
-template <typename F>
-double MRowsPerSecond(uint64_t rows, int64_t reps, F &&run) {
-  double best = 0;
-  for (int64_t r = 0; r < reps; r++) {
-    const double seconds = TimeSeconds(run);
-    const double mrps = static_cast<double>(rows) / 1e6 / seconds;
-    if (mrps > best) best = mrps;
-  }
-  return best;
-}
-
-/// Parse MAINLINE_F16_THREADS ("1,2,4,8") into worker counts.
-std::vector<uint32_t> ThreadList() {
-  const char *env = std::getenv("MAINLINE_F16_THREADS");
-  const std::string spec = env == nullptr ? "1,2,4,8" : env;
-  std::vector<uint32_t> threads;
-  size_t pos = 0;
-  while (pos < spec.size()) {
-    const size_t comma = spec.find(',', pos);
-    const std::string token = spec.substr(pos, comma == std::string::npos ? spec.size() - pos
-                                                                          : comma - pos);
-    const long value = std::atol(token.c_str());
-    if (value > 0) threads.push_back(static_cast<uint32_t>(value));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (threads.empty()) threads = {1, 2, 4, 8};
-  return threads;
-}
-
 }  // namespace
 }  // namespace mainline::bench
 
@@ -94,7 +63,7 @@ int main() {
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F16_ROWS", 2000000));
   const auto txn_rows = static_cast<uint64_t>(EnvInt("MAINLINE_F16_TXN_ROWS", 10000));
   const int64_t reps = EnvInt("MAINLINE_F16_REPS", 3);
-  const std::vector<uint32_t> thread_list = ThreadList();
+  const std::vector<uint32_t> thread_list = EnvThreadList("MAINLINE_F16_THREADS");
 
   std::printf(
       "== Figure 16: in-situ Q1/Q6 throughput (Mrows/s, best of %" PRId64
@@ -165,7 +134,7 @@ int main() {
       ") ==\n",
       reps);
   std::printf("%-9s %8s %10s %10s %18s\n", "%frozen", "threads", "q1-par", "q6-par",
-              "q6 speedup-vs-1T");
+              "q6 speedup-vs-first");
   for (const std::string &line : sweep_lines) std::printf("%s\n", line.c_str());
   return all_match ? 0 : 1;
 }

@@ -1,5 +1,6 @@
-// In-situ TPC-H: generate LINEITEM, answer Q1 and Q6 with the vectorized
-// execution engine while the table is hot, freeze it through the
+// In-situ TPC-H: generate LINEITEM and ORDERS, answer Q1 and Q6 (single
+// table) plus Q12 (hash join ORDERS ⋈ LINEITEM) with the vectorized
+// execution engine while the tables are hot, freeze them through the
 // transformation pipeline, and answer them again — now zero-copy straight
 // out of the frozen Arrow blocks. Each round also runs the morsel-parallel
 // engine across all hardware threads. Every run is checked bit-exactly
@@ -10,9 +11,10 @@
 //
 //   $ ./build/examples/tpch_query
 //
-// Knobs: MAINLINE_TPCH_ROWS (default 200000), MAINLINE_TPCH_TXN_ROWS
-// (rows per generator transaction, default 10000), MAINLINE_TPCH_THREADS
-// (parallel-engine workers, default hardware concurrency).
+// Knobs: MAINLINE_TPCH_ROWS (default 200000), MAINLINE_TPCH_ORDERS (default
+// rows / 3), MAINLINE_TPCH_TXN_ROWS (rows per generator transaction, default
+// 10000), MAINLINE_TPCH_THREADS (parallel-engine workers, default hardware
+// concurrency).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include "transform/block_transformer.h"
 #include "transform/transform_pipeline.h"
 #include "workload/tpch/lineitem.h"
+#include "workload/tpch/orders.h"
 
 using namespace mainline;
 using execution::ExecMode;
@@ -36,16 +39,20 @@ int64_t EnvInt(const char *name, int64_t def) {
   return value == nullptr ? def : std::atoll(value);
 }
 
-/// Run Q1 + Q6 on all three engines, print the result rows, and verify the
-/// engines agree bit-exactly.
+/// Run Q1 + Q6 + Q12 on all three engines, print the result rows, and verify
+/// the engines agree bit-exactly.
 /// \return true if every aggregate matched.
-bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, const char *label) {
+bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTable *orders,
+                 const char *label) {
   const auto q1 = runner->RunQ1(table);
   const auto q1_ref = runner->RunQ1(table, {}, ExecMode::kScalar);
   const auto q1_par = runner->RunQ1(table, {}, ExecMode::kParallel);
   const auto q6 = runner->RunQ6(table);
   const auto q6_ref = runner->RunQ6(table, {}, ExecMode::kScalar);
   const auto q6_par = runner->RunQ6(table, {}, ExecMode::kParallel);
+  const auto q12 = runner->RunQ12(orders, table);
+  const auto q12_ref = runner->RunQ12(orders, table, {}, ExecMode::kScalar);
+  const auto q12_par = runner->RunQ12(orders, table, {}, ExecMode::kParallel);
 
   std::printf("\n-- %s: %llu rows, %llu blocks zero-copy, %llu blocks materialized --\n",
               label, static_cast<unsigned long long>(q1.stats.rows),
@@ -59,9 +66,17 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, const char *labe
                 static_cast<unsigned long long>(row.count));
   }
   std::printf("Q6  revenue = %.4f\n", q6.revenue);
+  std::printf("Q12 %-9s %16s %16s   (hash join ORDERS x LINEITEM)\n", "shipmode",
+              "high_line_count", "low_line_count");
+  for (const auto &row : q12.rows) {
+    std::printf("    %-9s %16llu %16llu\n", row.shipmode.c_str(),
+                static_cast<unsigned long long>(row.high_line_count),
+                static_cast<unsigned long long>(row.low_line_count));
+  }
 
   const bool ok = q1.rows == q1_ref.rows && q6.revenue == q6_ref.revenue &&
-                  q1_par.rows == q1_ref.rows && q6_par.revenue == q6_ref.revenue;
+                  q1_par.rows == q1_ref.rows && q6_par.revenue == q6_ref.revenue &&
+                  q12.rows == q12_ref.rows && q12_par.rows == q12_ref.rows;
   std::printf("engines agree bit-exactly (vectorized + %u-thread parallel vs scalar): %s\n",
               runner->NumThreads(), ok ? "yes" : "NO — MISMATCH");
   return ok;
@@ -77,26 +92,35 @@ int main() {
   gc::GarbageCollector gc(&txn_manager);
 
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_TPCH_ROWS", 200000));
+  const auto num_orders = static_cast<uint64_t>(
+      EnvInt("MAINLINE_TPCH_ORDERS", static_cast<int64_t>(rows / 3)));
   const auto txn_rows = static_cast<uint64_t>(EnvInt("MAINLINE_TPCH_TXN_ROWS", 10000));
-  std::printf("generating LINEITEM (%llu rows)...\n", static_cast<unsigned long long>(rows));
+  std::printf("generating LINEITEM (%llu rows) + ORDERS (%llu rows)...\n",
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(num_orders));
   storage::SqlTable *lineitem =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, rows, /*seed=*/7, txn_rows);
+  storage::SqlTable *orders =
+      workload::tpch::GenerateOrders(&catalog, &txn_manager, num_orders, /*seed=*/11, txn_rows);
   gc.FullGC();
 
   QueryRunner runner(&txn_manager,
                      static_cast<uint32_t>(EnvInt("MAINLINE_TPCH_THREADS", 0)));
-  bool ok = RunAndCheck(&runner, lineitem, "hot table (100% materialized)");
+  bool ok = RunAndCheck(&runner, lineitem, orders, "hot tables (100% materialized)");
 
-  // The table goes cold; the transformation pipeline freezes it into
+  // The tables go cold; the transformation pipeline freezes them into
   // canonical Arrow, and the same queries now run in situ.
   transform::AccessObserver observer(/*cold_threshold=*/2);
   transform::BlockTransformer transformer(&txn_manager, &gc);
   transform::TransformPipeline pipeline(&observer, &transformer, /*group_size=*/4);
   pipeline.EnqueueTable(&lineitem->UnderlyingTable());
+  pipeline.EnqueueTable(&orders->UnderlyingTable());
   const uint32_t frozen = pipeline.RunOnce();
-  std::printf("\nfroze %u of %zu blocks\n", frozen, lineitem->UnderlyingTable().NumBlocks());
+  std::printf("\nfroze %u of %zu blocks (both tables)\n", frozen,
+              lineitem->UnderlyingTable().NumBlocks() +
+                  orders->UnderlyingTable().NumBlocks());
 
-  ok = RunAndCheck(&runner, lineitem, "frozen table (in-situ, zero-copy)") && ok;
+  ok = RunAndCheck(&runner, lineitem, orders, "frozen tables (in-situ, zero-copy)") && ok;
 
   gc.FullGC();
   return ok ? 0 : 1;

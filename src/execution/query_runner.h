@@ -55,6 +55,13 @@ class QueryRunner {
     ScanStats stats;
   };
 
+  /// Q12's stats cover both scans: the ORDERS build and the LINEITEM probe
+  /// (rows = orders rows + lineitem rows).
+  struct Q12Result {
+    std::vector<tpch::Q12Row> rows;
+    ScanStats stats;
+  };
+
   Q1Result RunQ1(storage::SqlTable *table, const tpch::Q1Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
     Q1Result result;
@@ -87,6 +94,25 @@ class QueryRunner {
         break;
       case ExecMode::kParallel:
         result.revenue = tpch::RunQ6Parallel(table, txn, params, Pool(), &result.stats);
+        break;
+    }
+    txn_manager_->Commit(txn);
+    return result;
+  }
+
+  Q12Result RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                   const tpch::Q12Params &params = {}, ExecMode mode = ExecMode::kVectorized) {
+    Q12Result result;
+    transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
+    switch (mode) {
+      case ExecMode::kVectorized:
+        result.rows = tpch::RunQ12(orders, lineitem, txn, params, &result.stats);
+        break;
+      case ExecMode::kScalar:
+        result.rows = tpch::RunQ12Scalar(orders, lineitem, txn, params, &result.stats);
+        break;
+      case ExecMode::kParallel:
+        result.rows = tpch::RunQ12Parallel(orders, lineitem, txn, params, Pool(), &result.stats);
         break;
     }
     txn_manager_->Commit(txn);

@@ -2,25 +2,34 @@
 
 #include <algorithm>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/selection_vector.h"
+#include "execution/hash_join.h"
 #include "execution/parallel_scanner.h"
 #include "execution/vector_ops.h"
 #include "workload/row_util.h"
 #include "workload/tpch/lineitem.h"
+#include "workload/tpch/orders.h"
 
 namespace mainline::execution::tpch {
 
 namespace {
 
 using common::SelectionVector;
+using workload::tpch::L_COMMITDATE;
 using workload::tpch::L_DISCOUNT;
 using workload::tpch::L_EXTENDEDPRICE;
 using workload::tpch::L_LINESTATUS;
+using workload::tpch::L_ORDERKEY;
 using workload::tpch::L_QUANTITY;
+using workload::tpch::L_RECEIPTDATE;
 using workload::tpch::L_RETURNFLAG;
 using workload::tpch::L_SHIPDATE;
+using workload::tpch::L_SHIPMODE;
 using workload::tpch::L_TAX;
+using workload::tpch::O_ORDERKEY;
+using workload::tpch::O_ORDERPRIORITY;
 
 /// Running aggregates of one Q1 group — either a per-block partial or the
 /// merged global accumulator; both use the same shape.
@@ -369,6 +378,252 @@ double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *tx
         partial = Q6Partial{};
       });
   return revenue;
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H Q12 — the first multi-table plan: ORDERS ⋈ LINEITEM on orderkey,
+// grouped by l_shipmode. The hash-join payload is a single bit (order
+// priority is urgent/high), so the probe side aggregates match counts
+// directly; all aggregates are integers and the same per-block-partial
+// merge shape as Q1/Q6 keeps every engine's answer identical at any worker
+// count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Running counts of one Q12 group (a ship mode) — per-block partial or
+/// merged global accumulator.
+struct Q12Acc {
+  std::string shipmode;
+  uint64_t high = 0;
+  uint64_t low = 0;
+};
+
+/// Q12 groups are the (at most two) requested ship modes; linear probe.
+uint32_t FindOrAddQ12Group(std::vector<Q12Acc> *groups, std::string_view mode) {
+  for (uint32_t g = 0; g < groups->size(); g++) {
+    if ((*groups)[g].shipmode == mode) return g;
+  }
+  Q12Acc acc;
+  acc.shipmode = std::string(mode);
+  groups->push_back(std::move(acc));
+  return static_cast<uint32_t>(groups->size() - 1);
+}
+
+void MergeQ12Partial(std::vector<Q12Acc> *global, const std::vector<Q12Acc> &partial) {
+  for (const Q12Acc &acc : partial) {
+    Q12Acc *dst = &(*global)[FindOrAddQ12Group(global, acc.shipmode)];
+    dst->high += acc.high;
+    dst->low += acc.low;
+  }
+}
+
+std::vector<Q12Row> FinalizeQ12(std::vector<Q12Acc> groups) {
+  std::vector<Q12Row> rows;
+  rows.reserve(groups.size());
+  for (Q12Acc &acc : groups) {
+    Q12Row row;
+    row.shipmode = std::move(acc.shipmode);
+    row.high_line_count = acc.high;
+    row.low_line_count = acc.low;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Q12Row &a, const Q12Row &b) { return a.shipmode < b.shipmode; });
+  return rows;
+}
+
+bool IsHighPriority(std::string_view priority) {
+  return priority == "1-URGENT" || priority == "2-HIGH";
+}
+
+const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY};
+const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
+                                                      L_RECEIPTDATE, L_SHIPMODE};
+
+/// Batch column indices of the Q12 lineitem projection.
+struct Q12Columns {
+  uint16_t okey, ship, commit, receipt, mode;
+};
+
+Q12Columns ResolveQ12Columns(const std::vector<uint16_t> &projection) {
+  return {ProjectionIndexOf(projection, L_ORDERKEY),
+          ProjectionIndexOf(projection, L_SHIPDATE),
+          ProjectionIndexOf(projection, L_COMMITDATE),
+          ProjectionIndexOf(projection, L_RECEIPTDATE),
+          ProjectionIndexOf(projection, L_SHIPMODE)};
+}
+
+/// Build the ORDERS-side hash table: key o_orderkey, payload 1 for
+/// urgent/high priority orders, 0 otherwise. Dictionary-encoded priority
+/// columns classify each distinct priority once and emit by code.
+JoinHashTable BuildQ12Table(storage::SqlTable *orders, transaction::TransactionContext *txn,
+                            common::WorkerPool *pool, ScanStats *stats) {
+  const uint16_t key_idx = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
+  const uint16_t prio_idx = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
+  return JoinHashTable::Build(
+      orders, txn, kQ12OrdersProjection,
+      [key_idx, prio_idx](const ColumnVectorBatch &batch, std::vector<JoinEntry> *out) {
+        const arrowlite::Array &keys = batch.Column(key_idx);
+        const arrowlite::Array &prio = batch.Column(prio_idx);
+        const int64_t *key_values = keys.buffer(0)->data_as<int64_t>();
+        const auto n = static_cast<uint32_t>(batch.NumRows());
+        out->reserve(n);
+        const bool has_nulls = keys.null_count() != 0 || prio.null_count() != 0;
+        if (prio.type() == arrowlite::Type::kDictionary) {
+          const arrowlite::Array &dict = *prio.dictionary();
+          std::vector<uint64_t> payload_of_code(static_cast<size_t>(dict.length()));
+          for (int64_t c = 0; c < dict.length(); c++) {
+            payload_of_code[static_cast<size_t>(c)] = IsHighPriority(dict.GetString(c)) ? 1 : 0;
+          }
+          const int32_t *codes = prio.buffer(0)->data_as<int32_t>();
+          for (uint32_t row = 0; row < n; row++) {
+            if (has_nulls && (keys.IsNull(row) || prio.IsNull(row))) continue;
+            out->push_back({key_values[row], payload_of_code[static_cast<size_t>(codes[row])]});
+          }
+        } else {
+          for (uint32_t row = 0; row < n; row++) {
+            if (has_nulls && (keys.IsNull(row) || prio.IsNull(row))) continue;
+            out->push_back({key_values[row], IsHighPriority(prio.GetString(row)) ? 1u : 0u});
+          }
+        }
+      },
+      pool, stats);
+}
+
+/// One lineitem batch's (== one block's) Q12 partial: selection-vector
+/// filters, then a probe of the survivors, counting matches into `partial`
+/// (empty on entry) grouped by ship mode.
+void AccumulateQ12Batch(const ColumnVectorBatch &batch, const JoinHashTable &ht,
+                        const Q12Params &params, const Q12Columns &c, SelectionVector *sel,
+                        std::vector<Q12Acc> *partial) {
+  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
+  vector_ops::FilterRange<uint32_t>(batch.Column(c.receipt), sel, params.receiptdate_min,
+                                    params.receiptdate_max);
+  vector_ops::FilterLessThanColumn<uint32_t>(batch.Column(c.commit), batch.Column(c.receipt),
+                                             sel);
+  vector_ops::FilterLessThanColumn<uint32_t>(batch.Column(c.ship), batch.Column(c.commit),
+                                             sel);
+  vector_ops::FilterStringIn(batch.Column(c.mode), sel,
+                             {params.shipmode_a, params.shipmode_b});
+  if (sel->Empty() || ht.Empty()) return;
+
+  const arrowlite::Array &keys = batch.Column(c.okey);
+  const arrowlite::Array &mode = batch.Column(c.mode);
+  const auto count = [&](uint32_t group, uint64_t payload) {
+    Q12Acc *acc = &(*partial)[group];
+    acc->high += payload;
+    acc->low += 1 - payload;
+  };
+  if (mode.type() == arrowlite::Type::kDictionary) {
+    // Ship-mode grouping by dictionary code: resolve each code to its group
+    // lazily, then count matches without touching strings.
+    std::vector<int32_t> group_of_code(static_cast<size_t>(mode.dictionary()->length()), -1);
+    const int32_t *codes = mode.buffer(0)->data_as<int32_t>();
+    ht.ProbeSelected(keys, *sel, [&](uint32_t row, uint64_t payload) {
+      const auto code = static_cast<size_t>(codes[row]);
+      int32_t g = group_of_code[code];
+      if (UNLIKELY(g < 0)) {
+        g = static_cast<int32_t>(
+            FindOrAddQ12Group(partial, mode.dictionary()->GetString(codes[row])));
+        group_of_code[code] = g;
+      }
+      count(static_cast<uint32_t>(g), payload);
+    });
+  } else {
+    ht.ProbeSelected(keys, *sel, [&](uint32_t row, uint64_t payload) {
+      count(FindOrAddQ12Group(partial, mode.GetString(row)), payload);
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                           transaction::TransactionContext *txn, const Q12Params &params,
+                           ScanStats *stats) {
+  // Build inline (degraded parallel build), probe sequentially.
+  const JoinHashTable ht = BuildQ12Table(orders, txn, nullptr, stats);
+
+  TableScanner scanner(lineitem, txn, kQ12LineitemProjection);
+  const Q12Columns cols = ResolveQ12Columns(scanner.Projection());
+  std::vector<Q12Acc> groups;
+  std::vector<Q12Acc> partial;
+  SelectionVector sel;
+  ColumnVectorBatch batch;
+  while (scanner.Next(&batch)) {
+    partial.clear();
+    AccumulateQ12Batch(batch, ht, params, cols, &sel, &partial);
+    batch.Release();
+    MergeQ12Partial(&groups, partial);
+  }
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return FinalizeQ12(std::move(groups));
+}
+
+std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                                   transaction::TransactionContext *txn,
+                                   const Q12Params &params, common::WorkerPool *pool,
+                                   ScanStats *stats) {
+  const JoinHashTable ht = BuildQ12Table(orders, txn, pool, stats);
+
+  ParallelTableScanner scanner(lineitem, txn, kQ12LineitemProjection);
+  const Q12Columns cols = ResolveQ12Columns(scanner.Projection());
+  // One partial slot per block ordinal: workers write disjoint slots, the
+  // merge below reads them in block order — no locks, deterministic result.
+  std::vector<std::vector<Q12Acc>> partials(scanner.NumBlocks());
+  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
+    SelectionVector sel;
+    AccumulateQ12Batch(*batch, ht, params, cols, &sel, &partials[ordinal]);
+  });
+
+  std::vector<Q12Acc> groups;
+  for (const std::vector<Q12Acc> &partial : partials) MergeQ12Partial(&groups, partial);
+  if (stats != nullptr) stats->Add(scanner.Stats());
+  return FinalizeQ12(std::move(groups));
+}
+
+std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                                 transaction::TransactionContext *txn, const Q12Params &params,
+                                 ScanStats *stats) {
+  // Build: one Select per ORDERS slot, in scan order.
+  std::unordered_multimap<int64_t, uint64_t> ht;
+  const uint16_t p_okey = 0, p_prio = 1;
+  ScalarScan(
+      orders, txn, kQ12OrdersProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        ht.emplace(workload::Get<int64_t>(row, p_okey),
+                   IsHighPriority(workload::GetVarchar(row, p_prio)) ? 1 : 0);
+      },
+      [] {});
+
+  // Probe: row predicates in the same order as the vectorized filters.
+  const uint16_t p_lkey = 0, p_ship = 1, p_commit = 2, p_receipt = 3, p_mode = 4;
+  std::vector<Q12Acc> groups;
+  std::vector<Q12Acc> partial;
+  ScalarScan(
+      lineitem, txn, kQ12LineitemProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        const uint32_t receipt = workload::Get<uint32_t>(row, p_receipt);
+        if (receipt < params.receiptdate_min || receipt >= params.receiptdate_max) return;
+        const uint32_t commit = workload::Get<uint32_t>(row, p_commit);
+        if (commit >= receipt) return;
+        if (workload::Get<uint32_t>(row, p_ship) >= commit) return;
+        const std::string_view mode = workload::GetVarchar(row, p_mode);
+        if (mode != params.shipmode_a && mode != params.shipmode_b) return;
+        const auto [begin, end] = ht.equal_range(workload::Get<int64_t>(row, p_lkey));
+        if (begin == end) return;
+        Q12Acc *acc = &partial[FindOrAddQ12Group(&partial, mode)];
+        for (auto it = begin; it != end; ++it) {
+          acc->high += it->second;
+          acc->low += 1 - it->second;
+        }
+      },
+      [&] {
+        MergeQ12Partial(&groups, partial);
+        partial.clear();
+      });
+  return FinalizeQ12(std::move(groups));
 }
 
 }  // namespace mainline::execution::tpch

@@ -81,6 +81,56 @@ double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *
                      const Q6Params &params, common::WorkerPool *pool,
                      ScanStats *stats = nullptr);
 
+/// Parameters of TPC-H Q12 (shipping modes and order priority). The two ship
+/// modes mirror the official query's ('MAIL', 'SHIP') pair; the receipt-date
+/// window is the engine's day numbers, one year wide against the lineitem
+/// generator's [8001, 10530] receipt range.
+struct Q12Params {
+  std::string shipmode_a = "MAIL";
+  std::string shipmode_b = "SHIP";
+  uint32_t receiptdate_min = 9000;  ///< l_receiptdate >= receiptdate_min
+  uint32_t receiptdate_max = 9365;  ///< l_receiptdate <  receiptdate_max
+};
+
+/// One Q12 result group: line counts by ship mode, split by whether the
+/// joined order's priority is urgent/high. Counts are integers, so equality
+/// between engines is exact by construction — what the join contributes to
+/// bit-exactness is producing the same multiset of matches at any worker
+/// count.
+struct Q12Row {
+  std::string shipmode;
+  uint64_t high_line_count = 0;
+  uint64_t low_line_count = 0;
+
+  bool operator==(const Q12Row &) const = default;
+};
+
+/// Vectorized Q12 — the first multi-table plan: hash-join build over ORDERS
+/// (key o_orderkey, payload = "is urgent/high" bit), then a streaming probe
+/// of LINEITEM batches through selection-vector filters (receipt-date window,
+/// commit < receipt, ship < commit, shipmode IN (a, b)) with per-block
+/// partials folded in block order. `orders` and `lineitem` must use
+/// OrdersSchema()/LineItemSchema() column positions.
+std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                           transaction::TransactionContext *txn, const Q12Params &params,
+                           ScanStats *stats = nullptr);
+
+/// Morsel-parallel Q12: both the ORDERS build scan and the LINEITEM probe
+/// scan run block-granular morsels over `pool`'s workers; probe partials are
+/// stored per block ordinal and merged in block order. Bit-exact with RunQ12
+/// and RunQ12Scalar for any worker count. `txn` must stay read-only while
+/// the query runs (workers share it).
+std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                                   transaction::TransactionContext *txn,
+                                   const Q12Params &params, common::WorkerPool *pool,
+                                   ScanStats *stats = nullptr);
+
+/// Scalar tuple-at-a-time Q12 reference: a std::unordered_multimap build over
+/// one Select-per-slot scan of ORDERS, probed one lineitem tuple at a time.
+std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                                 transaction::TransactionContext *txn, const Q12Params &params,
+                                 ScanStats *stats = nullptr);
+
 /// Scalar tuple-at-a-time Q1 reference: one DataTable::Select per slot, row
 /// predicates in scan order, partials per block — the baseline figure16
 /// compares the other engines against, and the oracle the execution tests

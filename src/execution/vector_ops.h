@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "arrowlite/array.h"
 #include "common/selection_vector.h"
@@ -36,6 +37,68 @@ void FilterFixed(const arrowlite::Array &col, common::SelectionVector *sel, Pred
 template <typename T>
 void FilterRange(const arrowlite::Array &col, common::SelectionVector *sel, T lo, T hi) {
   FilterFixed<T>(col, sel, [lo, hi](T v) { return lo <= v && v < hi; });
+}
+
+/// Refine `sel` to rows where `a[row] < b[row]` — the column-vs-column shape
+/// of Q12's date sanity predicates (l_shipdate < l_commitdate, ...). Rows
+/// where either operand is null never qualify.
+template <typename T>
+void FilterLessThanColumn(const arrowlite::Array &a, const arrowlite::Array &b,
+                          common::SelectionVector *sel) {
+  const T *va = a.buffer(0)->template data_as<T>();
+  const T *vb = b.buffer(0)->template data_as<T>();
+  if (a.null_count() == 0 && b.null_count() == 0) {
+    sel->Refine([&](uint32_t row) { return va[row] < vb[row]; });
+  } else {
+    sel->Refine([&](uint32_t row) {
+      return !a.IsNull(row) && !b.IsNull(row) && va[row] < vb[row];
+    });
+  }
+}
+
+/// Refine `sel` to rows whose string value equals one of `targets` (SQL IN
+/// over a short literal list). Dictionary-encoded columns resolve each target
+/// to its code once and match on integers; rows with null values never
+/// qualify.
+inline void FilterStringIn(const arrowlite::Array &col, common::SelectionVector *sel,
+                           const std::vector<std::string_view> &targets) {
+  if (col.type() == arrowlite::Type::kDictionary) {
+    const arrowlite::Array &dict = *col.dictionary();
+    std::vector<int32_t> wanted;
+    for (const std::string_view target : targets) {
+      for (int64_t i = 0; i < dict.length(); i++) {
+        if (dict.GetString(i) == target) {
+          wanted.push_back(static_cast<int32_t>(i));
+          break;
+        }
+      }
+    }
+    if (wanted.empty()) {
+      sel->Refine([](uint32_t) { return false; });
+      return;
+    }
+    const int32_t *codes = col.buffer(0)->data_as<int32_t>();
+    const auto match = [&](uint32_t row) {
+      for (const int32_t code : wanted) {
+        if (codes[row] == code) return true;
+      }
+      return false;
+    };
+    if (col.null_count() == 0) {
+      sel->Refine(match);
+    } else {
+      sel->Refine([&](uint32_t row) { return !col.IsNull(row) && match(row); });
+    }
+    return;
+  }
+  sel->Refine([&](uint32_t row) {
+    if (col.IsNull(row)) return false;
+    const std::string_view value = col.GetString(row);
+    for (const std::string_view target : targets) {
+      if (value == target) return true;
+    }
+    return false;
+  });
 }
 
 /// Refine `sel` to rows whose string value equals `target`. For

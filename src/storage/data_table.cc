@@ -147,31 +147,48 @@ bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
 }
 
 TupleSlot DataTable::Insert(transaction::TransactionContext *txn, const ProjectedRow &redo) {
-  // Claim a never-used slot, appending a new block if the table is full.
-  TupleSlot slot;
   while (true) {
-    RawBlock *block = insertion_block_.load(std::memory_order_acquire);
-    EnsureHot(block);
-    if (accessor_.Allocate(block, &slot)) break;
-    // Block full: install a fresh insertion block (single winner).
-    common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
-    if (insertion_block_.load(std::memory_order_acquire) == block) {
-      RawBlock *new_block = block_store_->Get();
-      MAINLINE_ASSERT(new_block != nullptr, "block store exhausted");
-      accessor_.InitializeRawBlock(this, new_block, version_);
-      blocks_.push_back(new_block);
-      insertion_block_.store(new_block, std::memory_order_release);
+    // Claim a never-used slot, appending a new block if the table is full.
+    TupleSlot slot;
+    while (true) {
+      RawBlock *block = insertion_block_.load(std::memory_order_acquire);
+      EnsureHot(block);
+      if (accessor_.Allocate(block, &slot)) break;
+      // Block full: install a fresh insertion block (single winner).
+      common::SharedLatch::ScopedExclusiveLatch guard(&blocks_latch_);
+      if (insertion_block_.load(std::memory_order_acquire) == block) {
+        RawBlock *new_block = block_store_->Get();
+        MAINLINE_ASSERT(new_block != nullptr, "block store exhausted");
+        accessor_.InitializeRawBlock(this, new_block, version_);
+        blocks_.push_back(new_block);
+        insertion_block_.store(new_block, std::memory_order_release);
+      }
     }
-  }
 
-  UndoRecord *undo = txn->UndoRecordForInsert(this, slot);
-  // The slot is never-used: its version pointer is null and invisible to all
-  // other transactions until the allocation bit is published below.
-  accessor_.VersionPtr(slot).store(undo, std::memory_order_seq_cst);
-  WriteValues(slot, redo);
-  RegisterLooseVarlens(txn, redo);
-  accessor_.SetAllocated(slot);
-  return slot;
+    UndoRecord *undo = txn->UndoRecordForInsert(this, slot);
+    // Publish with a CAS, not a blind store: the slot is never-used, but the
+    // compactor's InsertInto may legally target it — the compaction planner
+    // counts never-used slots past the insert head as fillable gaps, and the
+    // insertion block is a valid compaction target. Exactly one writer wins
+    // the null -> record transition; a blind store here could erase a
+    // concurrently installed compaction insert record, after which both
+    // transactions would write the slot and commit without ever seeing a
+    // conflict — orphaning one of the two rows' varlen buffers (the
+    // compactor's DeepCopyVarlens copies escaped the abort-reclaim protocol
+    // exactly this way) and silently losing a tuple.
+    UndoRecord *expected = nullptr;
+    if (!accessor_.VersionPtr(slot).compare_exchange_strong(expected, undo,
+                                                            std::memory_order_seq_cst)) {
+      // A compaction move claimed this slot first. Disown the reserved undo
+      // record (rollback and GC skip it) and claim the next slot instead.
+      undo->SetTableNull();
+      continue;
+    }
+    WriteValues(slot, redo);
+    RegisterLooseVarlens(txn, redo);
+    accessor_.SetAllocated(slot);
+    return slot;
+  }
 }
 
 bool DataTable::InsertInto(transaction::TransactionContext *txn, TupleSlot dest,

@@ -58,7 +58,10 @@ class DataTable {
   TupleSlot Insert(transaction::TransactionContext *txn, const ProjectedRow &redo);
 
   /// Insert into a specific currently-empty slot. Used by the compactor to
-  /// fill gaps left by deletes; regular inserts only consume never-used slots.
+  /// fill gaps left by deletes — including never-used slots past the insert
+  /// head, which a concurrent Insert may race for: both sides claim a slot by
+  /// winning the version pointer's null -> record CAS, so exactly one of them
+  /// owns it (the loser fails here, or moves on to the next slot there).
   /// \return true on success, false if the slot is occupied or contended.
   bool InsertInto(transaction::TransactionContext *txn, TupleSlot dest, const ProjectedRow &redo);
 

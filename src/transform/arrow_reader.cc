@@ -215,7 +215,10 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     std::vector<uint8_t> valid;  // LSB-first presence bits, Arrow layout
   };
   std::vector<ColumnSnapshot> snap(positions.size());
-  for (uint16_t p = 0; p < positions.size(); p++) {
+  // An empty vector's data() is null and memcpy's pointer arguments must not
+  // be, even for zero sizes — and a block with no used slots (a fresh table's
+  // insertion block) has nothing to snapshot anyway.
+  for (uint16_t p = 0; limit != 0 && p < positions.size(); p++) {
     const storage::col_id_t col(positions[p]);
     ColumnSnapshot &s = snap[p];
     s.values.resize(static_cast<size_t>(layout.AttrSize(col)) * limit);

@@ -1,0 +1,68 @@
+#include "workload/tpch/orders.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "workload/row_util.h"
+
+namespace mainline::workload::tpch {
+
+using catalog::TypeId;
+
+catalog::Schema OrdersSchema() {
+  return catalog::Schema({
+      {"o_orderkey", TypeId::kBigInt},
+      {"o_custkey", TypeId::kBigInt},
+      {"o_orderstatus", TypeId::kVarchar},
+      {"o_totalprice", TypeId::kDecimal},
+      {"o_orderdate", TypeId::kDate},
+      {"o_orderpriority", TypeId::kVarchar},
+      {"o_clerk", TypeId::kVarchar},
+      {"o_shippriority", TypeId::kInteger},
+      {"o_comment", TypeId::kVarchar},
+  });
+}
+
+storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
+                                  transaction::TransactionManager *txn_manager,
+                                  uint64_t num_orders, uint64_t seed, uint64_t batch_size,
+                                  const char *table_name) {
+  static const char *kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                                      "5-LOW"};
+  static const char *kStatuses[] = {"O", "F", "P"};
+
+  storage::SqlTable *table =
+      catalog->GetTable(catalog->CreateTable(table_name, OrdersSchema()));
+  common::Xorshift rng(seed);
+  const storage::ProjectedRowInitializer initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  transaction::TransactionContext *txn = txn_manager->BeginTransaction();
+  for (uint64_t i = 0; i < num_orders; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    Set<int64_t>(row, O_ORDERKEY, static_cast<int64_t>(i + 1));
+    Set<int64_t>(row, O_CUSTKEY, static_cast<int64_t>(rng.Uniform(1, 150000)));
+    SetVarchar(row, O_ORDERSTATUS, kStatuses[rng.Uniform(0, 2)]);
+    Set<double>(row, O_TOTALPRICE, static_cast<double>(rng.Uniform(85000, 55500000)) / 100.0);
+    // Order dates cover the same day-number range the lineitem generator
+    // ships in, so date predicates on either side stay selective.
+    Set<uint32_t>(row, O_ORDERDATE, static_cast<uint32_t>(rng.Uniform(7900, 10480)));
+    SetVarchar(row, O_ORDERPRIORITY, kPriorities[rng.Uniform(0, 4)]);
+    char clerk[20];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09llu",
+                  static_cast<unsigned long long>(rng.Uniform(1, 1000)));
+    SetVarchar(row, O_CLERK, clerk);
+    Set<int32_t>(row, O_SHIPPRIORITY, 0);
+    SetVarchar(row, O_COMMENT, rng.AlphaString(19, 78));
+    table->Insert(txn, *row);
+
+    if (batch_size != 0 && (i + 1) % batch_size == 0) {
+      txn_manager->Commit(txn);
+      txn = txn_manager->BeginTransaction();
+    }
+  }
+  txn_manager->Commit(txn);
+  return table;
+}
+
+}  // namespace mainline::workload::tpch

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::workload::tpch {
+
+/// Column positions of the TPC-H ORDERS table.
+enum Orders : uint16_t {
+  O_ORDERKEY = 0,
+  O_CUSTKEY,
+  O_ORDERSTATUS,
+  O_TOTALPRICE,
+  O_ORDERDATE,
+  O_ORDERPRIORITY,
+  O_CLERK,
+  O_SHIPPRIORITY,
+  O_COMMENT,
+};
+
+/// Schema of ORDERS (types mapped onto the engine's type system).
+catalog::Schema OrdersSchema();
+
+/// Deterministic dbgen-style ORDERS generator, the build side of the join
+/// workloads. Order keys are the dense sequence 1..`num_orders` — consistent
+/// with GenerateLineItem, whose order keys start at 1 and advance by at most
+/// one per row, so a lineitem table of N rows joins fully against any ORDERS
+/// table with `num_orders >= N` (each l_orderkey finds exactly one order).
+/// Rows are inserted in batches of one transaction per `batch_size` rows
+/// (0 = everything in a single transaction); the row contents depend only on
+/// `seed`, never on the batching. `table_name` allows several ORDERS-shaped
+/// tables per catalog (tests build variants side by side).
+/// \return the populated table.
+storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
+                                  transaction::TransactionManager *txn_manager,
+                                  uint64_t num_orders, uint64_t seed = 11,
+                                  uint64_t batch_size = 10000,
+                                  const char *table_name = "orders");
+
+}  // namespace mainline::workload::tpch

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +46,11 @@ class TransformPipelineTest : public ::testing::TestWithParam<GatherMode> {
     gc_.SetAccessObserver(&observer_);
     table_ = catalog_.GetTable(catalog_.CreateTable("t", schema_));
   }
+
+  // Detach the observer before members destruct (in reverse order, the
+  // observer dies before the GC — whose own destructor still runs a final
+  // collection pass that would feed it).
+  ~TransformPipelineTest() { gc_.SetAccessObserver(nullptr); }
 
   static constexpr uint64_t kColdThreshold = 2;
 
@@ -284,6 +293,148 @@ TEST_P(TransformPipelineTest, BackgroundThreadFreezesWithoutManualDriving) {
   pipeline_.Stop();
   EXPECT_EQ(dt.Blocks().front()->controller.GetState(), BlockState::kFrozen);
   gc_.FullGC();
+}
+
+/// Regression test for the CompactGroup varlen-leak race (the ~1/30 ASan
+/// flake of tpcc_demo): the compaction planner counts never-used slots past
+/// the insert head as fillable gaps, so CompactGroup's InsertInto can target
+/// the very slot a concurrent user Insert claims with Allocate. Before the
+/// fix, Insert published its undo record with a blind store that could erase
+/// compaction's already-installed record — both transactions then wrote the
+/// slot and committed without seeing a conflict, losing one row and leaking
+/// whichever row's out-of-line varlen buffers lost the WriteValues race (the
+/// compactor's DeepCopyVarlens copies, in the observed flake).
+///
+/// The interleaving is sub-microsecond, so the test makes it as likely as
+/// possible instead of scripting it: each iteration builds a table whose
+/// compaction plan moves kContested tuples into the insertion block's
+/// never-used region, then races CompactGroup against two inserter threads
+/// aimed at the same slots. The row-count and content assertions catch the
+/// lost/corrupted rows directly; under ASan the leak itself fails the suite.
+/// Iterations are overridable via MAINLINE_RACE_ITERS (default 24 — the
+/// sanitizer job's budget; bump it when hunting).
+TEST_P(TransformPipelineTest, CompactionNeverRacesUserInsertsOnNeverUsedSlots) {
+  // Wide rows keep blocks small enough to roll over cheaply (~1000 slots).
+  std::vector<catalog::Column> columns = {{"id", catalog::TypeId::kBigInt},
+                                          {"payload", catalog::TypeId::kVarchar}};
+  for (int i = 0; i < 120; i++) {
+    columns.emplace_back("fill" + std::to_string(i), catalog::TypeId::kBigInt);
+  }
+  const catalog::Schema schema{columns};
+
+  // 24-byte payloads: out of line (> the 12-byte inline limit), so every row
+  // carries an owned buffer — the allocation the original flake leaked.
+  const auto payload_for = [](int64_t id) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "payload-%016lld",
+                  static_cast<long long>(id));
+    return std::string(buffer);
+  };
+  const auto insert_row = [&](storage::SqlTable *table,
+                              transaction::TransactionContext *txn,
+                              const storage::ProjectedRowInitializer &init,
+                              std::vector<byte> *buffer, int64_t id) {
+    ProjectedRow *row = init.InitializeRow(buffer->data());
+    workload::Set<int64_t>(row, 0, id);
+    workload::SetVarchar(row, 1, payload_for(id));
+    for (uint16_t c = 2; c < schema.NumColumns(); c++) {
+      workload::Set<int64_t>(row, c, id);
+    }
+    table->Insert(txn, *row);
+  };
+
+  const char *iters_env = std::getenv("MAINLINE_RACE_ITERS");
+  const int iterations = iters_env == nullptr ? 24 : std::atoi(iters_env);
+  constexpr uint32_t kContested = 64;   // moves aimed at never-used slots
+  constexpr uint32_t kResidents = 80;   // pre-existing rows in the insertion block
+  constexpr uint32_t kInserters = 2;
+
+  for (int iter = 0; iter < iterations; iter++) {
+    storage::SqlTable *table =
+        catalog_.GetTable(catalog_.CreateTable("race" + std::to_string(iter), schema));
+    storage::DataTable &dt = table->UnderlyingTable();
+    const auto slots_per_block = static_cast<int64_t>(dt.GetLayout().NumSlots());
+    const auto init = table->FullInitializer();
+    std::vector<byte> buffer(init.ProjectedRowSize() + 8);
+
+    // Roll block 1 over completely, then seed the new insertion block with
+    // kResidents rows so the planner picks it as the partial target block.
+    auto *txn = txn_manager_.BeginTransaction();
+    for (int64_t i = 0; i < slots_per_block + kResidents; i++) {
+      insert_row(table, txn, init, &buffer, i);
+    }
+    txn_manager_.Commit(txn);
+    ASSERT_EQ(dt.NumBlocks(), 2u);
+
+    // Thin block 1 down to kContested survivors: the plan now moves exactly
+    // those tuples into the insertion block's gaps — which, because the
+    // insertion block holds more tuples than any other block in the group,
+    // are its NEVER-USED slots [kResidents, kResidents + kContested).
+    std::vector<int64_t> expected_ids;
+    txn = txn_manager_.BeginTransaction();
+    storage::RawBlock *block1 = dt.Blocks().front();
+    for (int64_t i = 0; i < slots_per_block; i++) {
+      if (i < kContested) {
+        expected_ids.push_back(i);
+        continue;
+      }
+      ASSERT_TRUE(table->Delete(txn, TupleSlot(block1, static_cast<uint32_t>(i))));
+    }
+    txn_manager_.Commit(txn);
+    for (int64_t i = slots_per_block; i < slots_per_block + kResidents; i++) {
+      expected_ids.push_back(i);
+    }
+    gc_.FullGC();
+
+    // Race: CompactGroup moves the survivors while inserter threads claim
+    // slots from the same never-used region via Allocate.
+    std::atomic<bool> start{false};
+    std::vector<std::thread> inserters;
+    for (uint32_t t = 0; t < kInserters; t++) {
+      inserters.emplace_back([&, t] {
+        std::vector<byte> local_buffer(init.ProjectedRowSize() + 8);
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        auto *insert_txn = txn_manager_.BeginTransaction();
+        for (uint32_t i = 0; i < kContested / kInserters; i++) {
+          insert_row(table, insert_txn, init, &local_buffer,
+                     1000000 + iter * 1000 + static_cast<int64_t>(t * 100 + i));
+        }
+        txn_manager_.Commit(insert_txn);
+      });
+    }
+    for (uint32_t t = 0; t < kInserters; t++) {
+      for (uint32_t i = 0; i < kContested / kInserters; i++) {
+        expected_ids.push_back(1000000 + iter * 1000 + static_cast<int64_t>(t * 100 + i));
+      }
+    }
+    start.store(true, std::memory_order_release);
+    // An abort (a user insert won a contested slot first) is a legal outcome;
+    // losing or corrupting a committed row is not.
+    transformer_.CompactGroup(&dt, dt.Blocks(), nullptr, nullptr);
+    for (std::thread &thread : inserters) thread.join();
+
+    // Every expected row must be visible exactly once, with intact contents.
+    const auto read_init = table->InitializerForColumns({0, 1});
+    std::vector<byte> read_buffer(read_init.ProjectedRowSize() + 8);
+    std::vector<int64_t> visible_ids;
+    auto *read_txn = txn_manager_.BeginTransaction();
+    for (auto it = table->begin(); !it.Done(); ++it) {
+      ProjectedRow *row = read_init.InitializeRow(read_buffer.data());
+      if (!table->Select(read_txn, *it, row)) continue;
+      const int64_t id = workload::Get<int64_t>(*row, 0);
+      EXPECT_EQ(workload::GetVarchar(*row, 1), payload_for(id))
+          << "row " << id << " corrupted in iteration " << iter;
+      visible_ids.push_back(id);
+    }
+    txn_manager_.Commit(read_txn);
+
+    std::sort(visible_ids.begin(), visible_ids.end());
+    std::sort(expected_ids.begin(), expected_ids.end());
+    ASSERT_EQ(visible_ids, expected_ids)
+        << "a compaction/insert race lost or duplicated rows in iteration " << iter;
+    gc_.FullGC();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, TransformPipelineTest,
