@@ -94,8 +94,8 @@ int main() {
     }
 
     const double v = MRowsPerSecond(rows, reps, [&] { runner.RunQ12(orders, lineitem); });
-    const double s = MRowsPerSecond(rows, reps,
-                                    [&] { runner.RunQ12(orders, lineitem, {}, ExecMode::kScalar); });
+    const double s = MRowsPerSecond(
+        rows, reps, [&] { runner.RunQ12(orders, lineitem, {}, ExecMode::kScalar); });
     std::printf("%-9u %8" PRIu64 " %10.1f %10.1f %15.1fx\n", frozen_pct, frozen_blocks, v, s,
                 v / s);
 

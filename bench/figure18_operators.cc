@@ -1,0 +1,334 @@
+// Figure 18 (extension experiment, no direct paper counterpart): what the
+// composable operator pipeline API costs relative to the hand-fused query
+// kernels it replaced. TPC-H Q6 (filters + FP aggregate) and Q12 (hash join
+// + grouped counts) run over fully frozen tables — the paper's in-situ
+// sweet spot — first through faithful copies of the pre-redesign fused
+// kernels (kept here, and only here, as the baseline), then as
+// operator-pipeline plans, inline and morsel-parallel.
+//
+// Expected shape: the plan throughput stays within a few percent of the
+// fused kernels (>= 0.9x is the redesign's acceptance bar) because the
+// operators dispatch per batch, not per row — the inner loops are the same
+// vector_ops primitives. All engines must agree bit-exactly on every result
+// at every worker count; the binary exits non-zero on any mismatch.
+
+#include <algorithm>
+#include <cinttypes>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/selection_vector.h"
+#include "execution/hash_join.h"
+#include "execution/query_runner.h"
+#include "execution/table_scanner.h"
+#include "execution/vector_ops.h"
+#include "transform/block_transformer.h"
+#include "workload/tpch/lineitem.h"
+#include "workload/tpch/orders.h"
+
+namespace mainline::bench {
+namespace {
+
+using common::SelectionVector;
+using execution::ColumnVectorBatch;
+using execution::JoinEntry;
+using execution::JoinHashTable;
+using execution::ProjectionIndexOf;
+using execution::TableScanner;
+using execution::vector_ops::AccumulateDotProduct;
+using execution::vector_ops::FilterFixed;
+using execution::vector_ops::FilterLessThanColumn;
+using execution::vector_ops::FilterRange;
+using execution::vector_ops::FilterStringIn;
+using workload::tpch::L_COMMITDATE;
+using workload::tpch::L_DISCOUNT;
+using workload::tpch::L_EXTENDEDPRICE;
+using workload::tpch::L_ORDERKEY;
+using workload::tpch::L_QUANTITY;
+using workload::tpch::L_RECEIPTDATE;
+using workload::tpch::L_SHIPDATE;
+using workload::tpch::L_SHIPMODE;
+using workload::tpch::O_ORDERKEY;
+using workload::tpch::O_ORDERPRIORITY;
+
+// ---------------------------------------------------------------------------
+// The pre-redesign hand-fused kernels, verbatim: one bespoke scan loop per
+// query with the filters, probe, and accumulation inlined. This is what
+// every new query used to cost three times over (vectorized, scalar,
+// parallel) before plans composed from operators.
+// ---------------------------------------------------------------------------
+
+const std::vector<uint16_t> kQ6Projection = {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT,
+                                             L_SHIPDATE};
+
+double FusedQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+               const execution::tpch::Q6Params &params) {
+  TableScanner scanner(table, txn, kQ6Projection);
+  const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
+  const uint16_t price = ProjectionIndexOf(kQ6Projection, L_EXTENDEDPRICE);
+  const uint16_t disc = ProjectionIndexOf(kQ6Projection, L_DISCOUNT);
+  const uint16_t ship = ProjectionIndexOf(kQ6Projection, L_SHIPDATE);
+
+  double revenue = 0;
+  SelectionVector sel;
+  ColumnVectorBatch batch;
+  while (scanner.Next(&batch)) {
+    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
+    FilterRange<uint32_t>(batch.Column(ship), &sel, params.shipdate_min, params.shipdate_max);
+    FilterFixed<double>(batch.Column(disc), &sel, [&](double v) {
+      return params.discount_min <= v && v <= params.discount_max;
+    });
+    FilterFixed<double>(batch.Column(qty), &sel,
+                        [&](double v) { return v < params.quantity_max; });
+    double partial = 0;
+    AccumulateDotProduct(batch.Column(price), batch.Column(disc), sel, &partial);
+    batch.Release();
+    if (sel.Size() != 0) revenue += partial;
+  }
+  return revenue;
+}
+
+struct Q12Acc {
+  std::string shipmode;
+  uint64_t high = 0;
+  uint64_t low = 0;
+};
+
+uint32_t FindOrAddQ12Group(std::vector<Q12Acc> *groups, std::string_view mode) {
+  for (uint32_t g = 0; g < groups->size(); g++) {
+    if ((*groups)[g].shipmode == mode) return g;
+  }
+  Q12Acc acc;
+  acc.shipmode = std::string(mode);
+  groups->push_back(std::move(acc));
+  return static_cast<uint32_t>(groups->size() - 1);
+}
+
+const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY};
+const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
+                                                      L_RECEIPTDATE, L_SHIPMODE};
+
+std::vector<execution::tpch::Q12Row> FusedQ12(storage::SqlTable *orders,
+                                              storage::SqlTable *lineitem,
+                                              transaction::TransactionContext *txn,
+                                              const execution::tpch::Q12Params &params) {
+  // Build: inline JoinHashTable over ORDERS, payload = urgent/high bit.
+  const uint16_t okey = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
+  const uint16_t prio = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
+  const JoinHashTable ht = JoinHashTable::Build(
+      orders, txn, kQ12OrdersProjection,
+      [&](const ColumnVectorBatch &batch, std::vector<JoinEntry> *out) {
+        const arrowlite::Array &keys = batch.Column(okey);
+        const arrowlite::Array &priority = batch.Column(prio);
+        const int64_t *key_values = keys.buffer(0)->data_as<int64_t>();
+        const auto n = static_cast<uint32_t>(batch.NumRows());
+        const auto is_high = [](std::string_view p) {
+          return p == "1-URGENT" || p == "2-HIGH";
+        };
+        if (priority.type() == arrowlite::Type::kDictionary) {
+          const arrowlite::Array &dict = *priority.dictionary();
+          std::vector<uint64_t> payload_of_code(static_cast<size_t>(dict.length()));
+          for (int64_t c = 0; c < dict.length(); c++) {
+            payload_of_code[static_cast<size_t>(c)] = is_high(dict.GetString(c)) ? 1 : 0;
+          }
+          const int32_t *codes = priority.buffer(0)->data_as<int32_t>();
+          for (uint32_t row = 0; row < n; row++) {
+            out->push_back({key_values[row], payload_of_code[static_cast<size_t>(codes[row])]});
+          }
+        } else {
+          for (uint32_t row = 0; row < n; row++) {
+            out->push_back({key_values[row], is_high(priority.GetString(row)) ? 1u : 0u});
+          }
+        }
+      },
+      nullptr, nullptr);
+
+  // Probe: filters + probe + grouped counts fused into one loop.
+  TableScanner scanner(lineitem, txn, kQ12LineitemProjection);
+  const uint16_t lkey = ProjectionIndexOf(kQ12LineitemProjection, L_ORDERKEY);
+  const uint16_t ship = ProjectionIndexOf(kQ12LineitemProjection, L_SHIPDATE);
+  const uint16_t commit = ProjectionIndexOf(kQ12LineitemProjection, L_COMMITDATE);
+  const uint16_t receipt = ProjectionIndexOf(kQ12LineitemProjection, L_RECEIPTDATE);
+  const uint16_t mode_col = ProjectionIndexOf(kQ12LineitemProjection, L_SHIPMODE);
+
+  std::vector<Q12Acc> groups;
+  std::vector<Q12Acc> partial;
+  SelectionVector sel;
+  ColumnVectorBatch batch;
+  while (scanner.Next(&batch)) {
+    partial.clear();
+    sel.InitFull(static_cast<uint32_t>(batch.NumRows()));
+    FilterRange<uint32_t>(batch.Column(receipt), &sel, params.receiptdate_min,
+                          params.receiptdate_max);
+    FilterLessThanColumn<uint32_t>(batch.Column(commit), batch.Column(receipt), &sel);
+    FilterLessThanColumn<uint32_t>(batch.Column(ship), batch.Column(commit), &sel);
+    FilterStringIn(batch.Column(mode_col), &sel,
+                   {params.shipmode_a, params.shipmode_b});
+    if (!sel.Empty() && !ht.Empty()) {
+      const arrowlite::Array &keys = batch.Column(lkey);
+      const arrowlite::Array &mode = batch.Column(mode_col);
+      const auto count = [&](uint32_t group, uint64_t payload) {
+        Q12Acc *acc = &partial[group];
+        acc->high += payload;
+        acc->low += 1 - payload;
+      };
+      if (mode.type() == arrowlite::Type::kDictionary) {
+        std::vector<int32_t> group_of_code(static_cast<size_t>(mode.dictionary()->length()),
+                                           -1);
+        const int32_t *codes = mode.buffer(0)->data_as<int32_t>();
+        ht.ProbeSelected(keys, sel, [&](uint32_t row, uint64_t payload) {
+          const auto code = static_cast<size_t>(codes[row]);
+          int32_t g = group_of_code[code];
+          if (g < 0) {
+            g = static_cast<int32_t>(
+                FindOrAddQ12Group(&partial, mode.dictionary()->GetString(codes[row])));
+            group_of_code[code] = g;
+          }
+          count(static_cast<uint32_t>(g), payload);
+        });
+      } else {
+        ht.ProbeSelected(keys, sel, [&](uint32_t row, uint64_t payload) {
+          count(FindOrAddQ12Group(&partial, mode.GetString(row)), payload);
+        });
+      }
+    }
+    batch.Release();
+    for (const Q12Acc &acc : partial) {
+      Q12Acc *dst = &groups[FindOrAddQ12Group(&groups, acc.shipmode)];
+      dst->high += acc.high;
+      dst->low += acc.low;
+    }
+  }
+
+  std::vector<execution::tpch::Q12Row> rows;
+  rows.reserve(groups.size());
+  for (Q12Acc &acc : groups) {
+    execution::tpch::Q12Row row;
+    row.shipmode = std::move(acc.shipmode);
+    row.high_line_count = acc.high;
+    row.low_line_count = acc.low;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto &a, const auto &b) { return a.shipmode < b.shipmode; });
+  return rows;
+}
+
+/// Generate LINEITEM + ORDERS and freeze every block of both tables.
+std::unique_ptr<Engine> BuildFrozenTables(uint64_t rows, uint64_t num_orders,
+                                          uint64_t txn_rows,
+                                          storage::SqlTable **lineitem_out,
+                                          storage::SqlTable **orders_out) {
+  auto engine = std::make_unique<Engine>();
+  storage::SqlTable *lineitem = workload::tpch::GenerateLineItem(
+      &engine->catalog, &engine->txn_manager, rows, /*seed=*/7, txn_rows);
+  storage::SqlTable *orders = workload::tpch::GenerateOrders(
+      &engine->catalog, &engine->txn_manager, num_orders, /*seed=*/11, txn_rows);
+  engine->gc.FullGC();
+  transform::BlockTransformer transformer(&engine->txn_manager, &engine->gc);
+  for (storage::SqlTable *table : {lineitem, orders}) {
+    storage::DataTable &dt = table->UnderlyingTable();
+    for (storage::RawBlock *block : dt.Blocks()) {
+      transformer.ProcessGroup(&dt, {block}, nullptr);
+    }
+  }
+  engine->gc.FullGC();
+  *lineitem_out = lineitem;
+  *orders_out = orders;
+  return engine;
+}
+
+}  // namespace
+}  // namespace mainline::bench
+
+int main() {
+  using namespace mainline;
+  using namespace mainline::bench;
+  using execution::ExecMode;
+  const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F18_ROWS", 2000000));
+  const auto num_orders = rows / 3;
+  const int64_t reps = EnvInt("MAINLINE_F18_REPS", 3);
+  const std::vector<uint32_t> thread_list = EnvThreadList("MAINLINE_F18_THREADS");
+
+  storage::SqlTable *lineitem = nullptr;
+  storage::SqlTable *orders = nullptr;
+  auto engine = BuildFrozenTables(rows, num_orders, /*txn_rows=*/10000, &lineitem, &orders);
+  execution::QueryRunner runner(&engine->txn_manager);
+
+  std::printf("== Figure 18: operator pipeline vs hand-fused kernels, 100%% frozen "
+              "(M lineitem rows/s, best of %" PRId64 "), LINEITEM %" PRIu64
+              " rows, ORDERS %" PRIu64 " rows ==\n",
+              reps, rows, num_orders);
+  std::printf("%-5s %10s %10s %16s\n", "query", "fused", "pipeline", "pipeline/fused");
+
+  bool all_match = true;
+
+  // Q6 — correctness gate, then the head-to-head.
+  {
+    auto *txn = engine->txn_manager.BeginTransaction();
+    const double fused = FusedQ6(lineitem, txn, {});
+    const double plan = execution::tpch::RunQ6(lineitem, txn, {});
+    const double scalar = execution::tpch::RunQ6Scalar(lineitem, txn, {});
+    engine->txn_manager.Commit(txn);
+    if (fused != scalar || plan != scalar) {
+      std::printf("Q6 RESULT MISMATCH (fused %.6f, pipeline %.6f, scalar %.6f)\n", fused,
+                  plan, scalar);
+      all_match = false;
+    } else {
+      const double f = MRowsPerSecond(rows, reps, [&] {
+        auto *t = engine->txn_manager.BeginTransaction();
+        FusedQ6(lineitem, t, {});
+        engine->txn_manager.Commit(t);
+      });
+      const double p = MRowsPerSecond(rows, reps, [&] { runner.RunQ6(lineitem); });
+      std::printf("%-5s %10.1f %10.1f %15.2fx\n", "q6", f, p, p / f);
+    }
+  }
+
+  // Q12 — same shape, with the join.
+  {
+    auto *txn = engine->txn_manager.BeginTransaction();
+    const auto fused = FusedQ12(orders, lineitem, txn, {});
+    const auto plan = execution::tpch::RunQ12(orders, lineitem, txn, {});
+    const auto scalar = execution::tpch::RunQ12Scalar(orders, lineitem, txn, {});
+    engine->txn_manager.Commit(txn);
+    if (!(fused == scalar) || !(plan == scalar) || fused.empty()) {
+      std::printf("Q12 RESULT MISMATCH\n");
+      all_match = false;
+    } else {
+      const double f = MRowsPerSecond(rows, reps, [&] {
+        auto *t = engine->txn_manager.BeginTransaction();
+        FusedQ12(orders, lineitem, t, {});
+        engine->txn_manager.Commit(t);
+      });
+      const double p = MRowsPerSecond(rows, reps, [&] { runner.RunQ12(orders, lineitem); });
+      std::printf("%-5s %10.1f %10.1f %15.2fx\n", "q12", f, p, p / f);
+    }
+  }
+
+  // Morsel-parallel pipeline sweep, correctness-gated per worker count.
+  std::printf("\n== Figure 18 threads sweep: morsel-parallel pipeline plans "
+              "(M lineitem rows/s, best of %" PRId64 ") ==\n",
+              reps);
+  std::printf("%-8s %10s %10s\n", "threads", "q6-par", "q12-par");
+  for (const uint32_t threads : thread_list) {
+    runner.SetNumThreads(threads);
+    const auto q6_ref = runner.RunQ6(lineitem, {}, ExecMode::kScalar);
+    const auto q6_par = runner.RunQ6(lineitem, {}, ExecMode::kParallel);
+    const auto q12_ref = runner.RunQ12(orders, lineitem, {}, ExecMode::kScalar);
+    const auto q12_par = runner.RunQ12(orders, lineitem, {}, ExecMode::kParallel);
+    if (q6_par.revenue != q6_ref.revenue || !(q12_par.rows == q12_ref.rows)) {
+      std::printf("PARALLEL RESULT MISMATCH at %u threads\n", threads);
+      all_match = false;
+      continue;
+    }
+    const double p6 = MRowsPerSecond(
+        rows, reps, [&] { runner.RunQ6(lineitem, {}, ExecMode::kParallel); });
+    const double p12 = MRowsPerSecond(
+        rows, reps, [&] { runner.RunQ12(orders, lineitem, {}, ExecMode::kParallel); });
+    std::printf("%-8u %10.1f %10.1f\n", threads, p6, p12);
+  }
+  return all_match ? 0 : 1;
+}

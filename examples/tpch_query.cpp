@@ -1,20 +1,20 @@
-// In-situ TPC-H: generate LINEITEM and ORDERS, answer Q1 and Q6 (single
-// table) plus Q12 (hash join ORDERS ⋈ LINEITEM) with the vectorized
-// execution engine while the tables are hot, freeze them through the
-// transformation pipeline, and answer them again — now zero-copy straight
-// out of the frozen Arrow blocks. Each round also runs the morsel-parallel
-// engine across all hardware threads. Every run is checked bit-exactly
-// against the tuple-at-a-time scalar reference (the parallel engine's
-// per-block accumulation makes its result independent of the worker count),
-// so this doubles as an end-to-end smoke test (non-zero exit on any
-// divergence).
+// In-situ TPC-H: generate LINEITEM, ORDERS, and PART, answer Q1 and Q6
+// (single table) plus Q12 (hash join ORDERS ⋈ LINEITEM) and Q14 (hash join
+// LINEITEM ⋈ PART, FP promo-revenue ratio) with operator-pipeline plans
+// while the tables are hot, freeze them through the transformation
+// pipeline, and answer them again — now zero-copy straight out of the
+// frozen Arrow blocks. Each round also runs the same plans morsel-parallel
+// across all hardware threads. Every run is checked bit-exactly against the
+// tuple-at-a-time scalar reference (the plans' per-block accumulation makes
+// their results independent of the worker count), so this doubles as an
+// end-to-end smoke test (non-zero exit on any divergence).
 //
 //   $ ./build/examples/tpch_query
 //
 // Knobs: MAINLINE_TPCH_ROWS (default 200000), MAINLINE_TPCH_ORDERS (default
-// rows / 3), MAINLINE_TPCH_TXN_ROWS (rows per generator transaction, default
-// 10000), MAINLINE_TPCH_THREADS (parallel-engine workers, default hardware
-// concurrency).
+// rows / 3), MAINLINE_TPCH_PARTS (default rows / 3), MAINLINE_TPCH_TXN_ROWS
+// (rows per generator transaction, default 10000), MAINLINE_TPCH_THREADS
+// (parallel-engine workers, default hardware concurrency).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +27,7 @@
 #include "transform/transform_pipeline.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
+#include "workload/tpch/part.h"
 
 using namespace mainline;
 using execution::ExecMode;
@@ -39,11 +40,11 @@ int64_t EnvInt(const char *name, int64_t def) {
   return value == nullptr ? def : std::atoll(value);
 }
 
-/// Run Q1 + Q6 + Q12 on all three engines, print the result rows, and verify
-/// the engines agree bit-exactly.
+/// Run Q1 + Q6 + Q12 + Q14 on all three engines, print the result rows, and
+/// verify the engines agree bit-exactly.
 /// \return true if every aggregate matched.
 bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTable *orders,
-                 const char *label) {
+                 storage::SqlTable *part, const char *label) {
   const auto q1 = runner->RunQ1(table);
   const auto q1_ref = runner->RunQ1(table, {}, ExecMode::kScalar);
   const auto q1_par = runner->RunQ1(table, {}, ExecMode::kParallel);
@@ -53,6 +54,9 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTabl
   const auto q12 = runner->RunQ12(orders, table);
   const auto q12_ref = runner->RunQ12(orders, table, {}, ExecMode::kScalar);
   const auto q12_par = runner->RunQ12(orders, table, {}, ExecMode::kParallel);
+  const auto q14 = runner->RunQ14(table, part);
+  const auto q14_ref = runner->RunQ14(table, part, {}, ExecMode::kScalar);
+  const auto q14_par = runner->RunQ14(table, part, {}, ExecMode::kParallel);
 
   std::printf("\n-- %s: %llu rows, %llu blocks zero-copy, %llu blocks materialized --\n",
               label, static_cast<unsigned long long>(q1.stats.rows),
@@ -74,9 +78,14 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTabl
                 static_cast<unsigned long long>(row.low_line_count));
   }
 
+  std::printf("Q14 promo revenue = %.4f%%   (hash join LINEITEM x PART)\n",
+              q14.promo_revenue);
+
   const bool ok = q1.rows == q1_ref.rows && q6.revenue == q6_ref.revenue &&
                   q1_par.rows == q1_ref.rows && q6_par.revenue == q6_ref.revenue &&
-                  q12.rows == q12_ref.rows && q12_par.rows == q12_ref.rows;
+                  q12.rows == q12_ref.rows && q12_par.rows == q12_ref.rows &&
+                  q14.promo_revenue == q14_ref.promo_revenue &&
+                  q14_par.promo_revenue == q14_ref.promo_revenue;
   std::printf("engines agree bit-exactly (vectorized + %u-thread parallel vs scalar): %s\n",
               runner->NumThreads(), ok ? "yes" : "NO — MISMATCH");
   return ok;
@@ -94,19 +103,24 @@ int main() {
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_TPCH_ROWS", 200000));
   const auto num_orders = static_cast<uint64_t>(
       EnvInt("MAINLINE_TPCH_ORDERS", static_cast<int64_t>(rows / 3)));
+  const auto num_parts = static_cast<uint64_t>(
+      EnvInt("MAINLINE_TPCH_PARTS", static_cast<int64_t>(rows / 3)));
   const auto txn_rows = static_cast<uint64_t>(EnvInt("MAINLINE_TPCH_TXN_ROWS", 10000));
-  std::printf("generating LINEITEM (%llu rows) + ORDERS (%llu rows)...\n",
+  std::printf("generating LINEITEM (%llu rows) + ORDERS (%llu rows) + PART (%llu rows)...\n",
               static_cast<unsigned long long>(rows),
-              static_cast<unsigned long long>(num_orders));
+              static_cast<unsigned long long>(num_orders),
+              static_cast<unsigned long long>(num_parts));
   storage::SqlTable *lineitem =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, rows, /*seed=*/7, txn_rows);
   storage::SqlTable *orders =
       workload::tpch::GenerateOrders(&catalog, &txn_manager, num_orders, /*seed=*/11, txn_rows);
+  storage::SqlTable *part =
+      workload::tpch::GeneratePart(&catalog, &txn_manager, num_parts, /*seed=*/13, txn_rows);
   gc.FullGC();
 
   QueryRunner runner(&txn_manager,
                      static_cast<uint32_t>(EnvInt("MAINLINE_TPCH_THREADS", 0)));
-  bool ok = RunAndCheck(&runner, lineitem, orders, "hot tables (100% materialized)");
+  bool ok = RunAndCheck(&runner, lineitem, orders, part, "hot tables (100% materialized)");
 
   // The tables go cold; the transformation pipeline freezes them into
   // canonical Arrow, and the same queries now run in situ.
@@ -115,12 +129,15 @@ int main() {
   transform::TransformPipeline pipeline(&observer, &transformer, /*group_size=*/4);
   pipeline.EnqueueTable(&lineitem->UnderlyingTable());
   pipeline.EnqueueTable(&orders->UnderlyingTable());
+  pipeline.EnqueueTable(&part->UnderlyingTable());
   const uint32_t frozen = pipeline.RunOnce();
-  std::printf("\nfroze %u of %zu blocks (both tables)\n", frozen,
+  std::printf("\nfroze %u of %zu blocks (all tables)\n", frozen,
               lineitem->UnderlyingTable().NumBlocks() +
-                  orders->UnderlyingTable().NumBlocks());
+                  orders->UnderlyingTable().NumBlocks() +
+                  part->UnderlyingTable().NumBlocks());
 
-  ok = RunAndCheck(&runner, lineitem, orders, "frozen tables (in-situ, zero-copy)") && ok;
+  ok = RunAndCheck(&runner, lineitem, orders, part, "frozen tables (in-situ, zero-copy)") &&
+       ok;
 
   gc.FullGC();
   return ok ? 0 : 1;

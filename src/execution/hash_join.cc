@@ -26,8 +26,6 @@ JoinHashTable JoinHashTable::Build(storage::SqlTable *table,
                                    const std::vector<uint16_t> &projection,
                                    const BuildEmitFn &emit, common::WorkerPool *pool,
                                    ScanStats *stats) {
-  JoinHashTable result;
-
   // Step 1 — scan: one entry vector per block ordinal; workers write
   // disjoint slots, so no synchronization beyond the scan itself.
   ParallelTableScanner scanner(table, txn, projection);
@@ -36,6 +34,12 @@ JoinHashTable JoinHashTable::Build(storage::SqlTable *table,
     emit(*batch, &per_block[ordinal]);
   });
   if (stats != nullptr) stats->Add(scanner.Stats());
+  return FromOrdinalLists(per_block, pool);
+}
+
+JoinHashTable JoinHashTable::FromOrdinalLists(
+    const std::vector<std::vector<JoinEntry>> &per_block, common::WorkerPool *pool) {
+  JoinHashTable result;
 
   // Step 2 — scatter, in block order: partition contents become independent
   // of how the morsels were distributed over workers.

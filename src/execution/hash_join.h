@@ -75,6 +75,14 @@ class JoinHashTable {
                              const std::vector<uint16_t> &projection, const BuildEmitFn &emit,
                              common::WorkerPool *pool, ScanStats *stats = nullptr);
 
+  /// Steps 2-3 of the build, for callers that produced the per-block-ordinal
+  /// entry lists themselves (e.g. op::HashJoinBuildOp, whose pipeline filters
+  /// and scans on its own): scatter the lists into partitions in ordinal
+  /// order — preserving the worker-count-independent determinism above — and
+  /// build the partitions, one pool task each (inline without a pool).
+  static JoinHashTable FromOrdinalLists(const std::vector<std::vector<JoinEntry>> &per_block,
+                                        common::WorkerPool *pool);
+
   /// Invoke `fn(payload)` for every build entry whose key equals `key`, in
   /// the deterministic insertion order described above. Thread-safe.
   template <typename Fn>

@@ -1,0 +1,316 @@
+#include "execution/operators/aggregate_op.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace mainline::execution::op {
+
+AggregateOp::AggregateOp(std::vector<uint16_t> group_cols, std::vector<AggSpec> aggs)
+    : group_cols_(std::move(group_cols)), aggs_(std::move(aggs)) {
+  MAINLINE_ASSERT(group_cols_.size() <= 2, "at most two group-by columns are supported");
+  MAINLINE_ASSERT(!aggs_.empty(), "an aggregate needs at least one AggSpec");
+  for (const AggSpec &spec : aggs_) {
+    if (spec.kind == AggSpec::Kind::kSumPayload || spec.payload_gate) needs_payload_ = true;
+  }
+}
+
+AggregateOp::GroupAcc AggregateOp::NewGroup(std::vector<std::string> keys) const {
+  GroupAcc acc;
+  acc.keys = std::move(keys);
+  acc.values.resize(aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    if (aggs_[i].kind == AggSpec::Kind::kMin) {
+      acc.values[i].f64 = std::numeric_limits<double>::infinity();
+    } else if (aggs_[i].kind == AggSpec::Kind::kMax) {
+      acc.values[i].f64 = -std::numeric_limits<double>::infinity();
+    }
+  }
+  return acc;
+}
+
+/// Resolve each row's group within one block partial. Groups are created at
+/// first occurrence, so a partial's discovery order is the row/match order —
+/// the same order a scalar tuple-at-a-time pass discovers them in.
+/// Dictionary-encoded group columns resolve by code through a dense cache
+/// (code-pair addressed for two columns), touching each distinct string only
+/// once per block.
+class AggregateOp::Resolver {
+ public:
+  Resolver(const AggregateOp &op, const Chunk &chunk) : op_(op) {
+    const size_t n = op.group_cols_.size();
+    if (n == 0) {
+      mode_ = Mode::kSingle;
+      return;
+    }
+    bool all_dictionary = true;
+    for (size_t i = 0; i < n; i++) {
+      cols_[i] = &chunk.batch->Column(op.group_cols_[i]);
+      if (cols_[i]->type() != arrowlite::Type::kDictionary) all_dictionary = false;
+    }
+    if (!all_dictionary) {
+      mode_ = Mode::kGeneric;
+      return;
+    }
+    codes_a_ = cols_[0]->buffer(0)->data_as<int32_t>();
+    const auto len_a = static_cast<size_t>(cols_[0]->dictionary()->length());
+    if (n == 1) {
+      mode_ = Mode::kDict1;
+      cache_.assign(len_a, -1);
+    } else {
+      mode_ = Mode::kDict2;
+      codes_b_ = cols_[1]->buffer(0)->data_as<int32_t>();
+      num_b_ = static_cast<size_t>(cols_[1]->dictionary()->length());
+      cache_.assign(len_a * num_b_, -1);
+    }
+  }
+
+  GroupAcc *FindOrAdd(Partial *partial, uint32_t row) {
+    switch (mode_) {
+      case Mode::kSingle: {
+        if (partial->empty()) partial->push_back(op_.NewGroup({}));
+        return &partial->front();
+      }
+      case Mode::kDict1: {
+        const auto code = static_cast<size_t>(codes_a_[row]);
+        int32_t g = cache_[code];
+        if (UNLIKELY(g < 0)) {
+          g = Lookup(partial, {cols_[0]->dictionary()->GetString(codes_a_[row])}, 1);
+          cache_[code] = g;
+        }
+        return &(*partial)[static_cast<size_t>(g)];
+      }
+      case Mode::kDict2: {
+        const size_t pair =
+            static_cast<size_t>(codes_a_[row]) * num_b_ + static_cast<size_t>(codes_b_[row]);
+        int32_t g = cache_[pair];
+        if (UNLIKELY(g < 0)) {
+          g = Lookup(partial,
+                     {cols_[0]->dictionary()->GetString(codes_a_[row]),
+                      cols_[1]->dictionary()->GetString(codes_b_[row])},
+                     2);
+          cache_[pair] = g;
+        }
+        return &(*partial)[static_cast<size_t>(g)];
+      }
+      case Mode::kGeneric:
+      default: {
+        // Array::GetString resolves dictionary codes itself, so mixed
+        // plain/dictionary column sets land here and still work.
+        std::array<std::string_view, 2> keys;
+        const size_t n = op_.group_cols_.size();
+        for (size_t i = 0; i < n; i++) keys[i] = cols_[i]->GetString(row);
+        return &(*partial)[static_cast<size_t>(Lookup(partial, keys, n))];
+      }
+    }
+  }
+
+ private:
+  enum class Mode : uint8_t { kSingle, kDict1, kDict2, kGeneric };
+
+  /// Linear probe over the partial's groups (group counts are tiny — Q1's
+  /// six is the largest so far), appending a new group on miss.
+  int32_t Lookup(Partial *partial, std::array<std::string_view, 2> keys, size_t n) const {
+    for (size_t g = 0; g < partial->size(); g++) {
+      const GroupAcc &acc = (*partial)[g];
+      bool match = true;
+      for (size_t i = 0; i < n; i++) {
+        if (acc.keys[i] != keys[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return static_cast<int32_t>(g);
+    }
+    std::vector<std::string> owned;
+    owned.reserve(n);
+    for (size_t i = 0; i < n; i++) owned.emplace_back(keys[i]);
+    partial->push_back(op_.NewGroup(std::move(owned)));
+    return static_cast<int32_t>(partial->size() - 1);
+  }
+
+  const AggregateOp &op_;
+  Mode mode_ = Mode::kSingle;
+  std::array<const arrowlite::Array *, 2> cols_ = {nullptr, nullptr};
+  const int32_t *codes_a_ = nullptr;
+  const int32_t *codes_b_ = nullptr;
+  size_t num_b_ = 0;
+  std::vector<int32_t> cache_;
+};
+
+void AggregateOp::AccumulateRow(GroupAcc *acc, const std::vector<BoundExpr> &bound,
+                                uint32_t row, uint64_t payload) const {
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    const AggSpec &spec = aggs_[i];
+    AggValue *value = &acc->values[i];
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        value->u64++;
+        break;
+      case AggSpec::Kind::kSumPayload:
+        value->u64 += payload;
+        break;
+      case AggSpec::Kind::kSum:
+        if (spec.payload_gate && payload == 0) break;
+        if (!bound[i].NullFree() && bound[i].IsNull(row)) break;
+        value->f64 += bound[i].Eval(row);
+        break;
+      case AggSpec::Kind::kMin: {
+        if (!bound[i].NullFree() && bound[i].IsNull(row)) break;
+        const double x = bound[i].Eval(row);
+        if (x < value->f64) value->f64 = x;
+        break;
+      }
+      case AggSpec::Kind::kMax: {
+        if (!bound[i].NullFree() && bound[i].IsNull(row)) break;
+        const double x = bound[i].Eval(row);
+        if (x > value->f64) value->f64 = x;
+        break;
+      }
+    }
+  }
+}
+
+/// The ungrouped, un-joined fast path (Q6's shape): one accumulator per
+/// aggregate, the expression form hoisted out of the row loop — the inner
+/// loops are literally the vector_ops accumulation loops the hand-fused
+/// kernels ran, so retiring those kernels costs no throughput.
+void AggregateOp::UngroupedPush(Chunk *chunk, const std::vector<BoundExpr> &bound) {
+  const common::SelectionVector &sel = chunk->sel;
+  if (sel.Empty()) return;
+  Partial *partial = &partials_[chunk->block_ordinal];
+  if (partial->empty()) partial->push_back(NewGroup({}));
+  GroupAcc *acc = &partial->front();
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    const BoundExpr &e = bound[i];
+    AggValue *value = &acc->values[i];
+    switch (aggs_[i].kind) {
+      case AggSpec::Kind::kCount:
+        value->u64 += sel.Size();
+        break;
+      case AggSpec::Kind::kSumPayload:
+        break;  // unreachable: needs_payload_ requires a probe upstream
+      case AggSpec::Kind::kSum: {
+        double acc_value = value->f64;
+        if (e.NullFree()) {
+          switch (e.kind) {
+            case Expr::Kind::kColumn:
+              for (const uint32_t row : sel) acc_value += e.a[row];
+              break;
+            case Expr::Kind::kMul:
+              for (const uint32_t row : sel) acc_value += e.a[row] * e.b[row];
+              break;
+            case Expr::Kind::kDiscounted:
+              for (const uint32_t row : sel) acc_value += e.a[row] * (1.0 - e.b[row]);
+              break;
+            case Expr::Kind::kDiscountedTaxed:
+              for (const uint32_t row : sel) {
+                acc_value += e.a[row] * (1.0 - e.b[row]) * (1.0 + e.c[row]);
+              }
+              break;
+          }
+        } else {
+          for (const uint32_t row : sel) {
+            if (!e.IsNull(row)) acc_value += e.Eval(row);
+          }
+        }
+        value->f64 = acc_value;
+        break;
+      }
+      case AggSpec::Kind::kMin:
+        for (const uint32_t row : sel) {
+          if (!e.NullFree() && e.IsNull(row)) continue;
+          const double x = e.Eval(row);
+          if (x < value->f64) value->f64 = x;
+        }
+        break;
+      case AggSpec::Kind::kMax:
+        for (const uint32_t row : sel) {
+          if (!e.NullFree() && e.IsNull(row)) continue;
+          const double x = e.Eval(row);
+          if (x > value->f64) value->f64 = x;
+        }
+        break;
+    }
+  }
+}
+
+void AggregateOp::Push(Chunk *chunk) {
+  MAINLINE_ASSERT(!needs_payload_ || chunk->probed,
+                  "payload aggregates need a join probe upstream");
+  std::vector<BoundExpr> bound(aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    if (aggs_[i].kind != AggSpec::Kind::kCount &&
+        aggs_[i].kind != AggSpec::Kind::kSumPayload) {
+      bound[i] = Bind(aggs_[i].expr, *chunk);
+    }
+  }
+
+  if (group_cols_.empty() && !chunk->probed) {
+    UngroupedPush(chunk, bound);
+    return;
+  }
+
+  Partial *partial = &partials_[chunk->block_ordinal];
+  Resolver resolver(*this, *chunk);
+  if (chunk->probed) {
+    for (const JoinMatch &match : chunk->matches) {
+      AccumulateRow(resolver.FindOrAdd(partial, match.row), bound, match.row, match.payload);
+    }
+  } else {
+    for (const uint32_t row : chunk->sel) {
+      AccumulateRow(resolver.FindOrAdd(partial, row), bound, row, 0);
+    }
+  }
+}
+
+uint32_t AggregateOp::FindOrAddGroup(Partial *partial, const std::vector<std::string> &keys,
+                                     const AggregateOp &op) {
+  for (uint32_t g = 0; g < partial->size(); g++) {
+    if ((*partial)[g].keys == keys) return g;
+  }
+  partial->push_back(op.NewGroup(keys));
+  return static_cast<uint32_t>(partial->size() - 1);
+}
+
+void AggregateOp::Finish(common::WorkerPool *) {
+  // Fold the per-block partials in block order — ONE addition per aggregate
+  // per (block, group), in each partial's discovery order. Blocks with no
+  // qualifying rows have no groups and contribute nothing, exactly like the
+  // scalar reference's per-block merge.
+  Partial global;
+  for (const Partial &partial : partials_) {
+    for (const GroupAcc &acc : partial) {
+      GroupAcc *dst = &global[FindOrAddGroup(&global, acc.keys, *this)];
+      for (size_t i = 0; i < aggs_.size(); i++) {
+        switch (aggs_[i].kind) {
+          case AggSpec::Kind::kSum:
+            dst->values[i].f64 += acc.values[i].f64;
+            break;
+          case AggSpec::Kind::kCount:
+          case AggSpec::Kind::kSumPayload:
+            dst->values[i].u64 += acc.values[i].u64;
+            break;
+          case AggSpec::Kind::kMin:
+            if (acc.values[i].f64 < dst->values[i].f64) dst->values[i].f64 = acc.values[i].f64;
+            break;
+          case AggSpec::Kind::kMax:
+            if (acc.values[i].f64 > dst->values[i].f64) dst->values[i].f64 = acc.values[i].f64;
+            break;
+        }
+      }
+    }
+  }
+  partials_.clear();
+
+  if (group_cols_.empty() && global.empty()) global.push_back(NewGroup({}));
+  std::sort(global.begin(), global.end(),
+            [](const GroupAcc &a, const GroupAcc &b) { return a.keys < b.keys; });
+  result_.clear();
+  result_.reserve(global.size());
+  for (GroupAcc &acc : global) {
+    result_.push_back({std::move(acc.keys), std::move(acc.values)});
+  }
+}
+
+}  // namespace mainline::execution::op

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "execution/operators/operator.h"
+
+namespace mainline::execution::op {
+
+/// One filter predicate, as data. Like Expr, the forms are a closed enum so
+/// FilterOp dispatches once per batch and the per-row loops are exactly the
+/// vector_ops primitives the hand-fused kernels called — including the
+/// dictionary-code fast path for string predicates. Columns are batch
+/// (scan-projection) indices; null rows never qualify.
+struct Predicate {
+  enum class Kind : uint8_t {
+    kU32InRange,         ///< lo <= v < hi (half-open; date windows)
+    kU32AtMost,          ///< v <= hi
+    kF64InRange,         ///< lo <= v <= hi (closed; BETWEEN)
+    kF64Below,           ///< v < hi
+    kU32LessThanColumn,  ///< col_a < col_b, row-wise
+    kStringIn,           ///< string value in a short literal list
+  };
+
+  Kind kind = Kind::kU32InRange;
+  uint16_t col_a = 0;
+  uint16_t col_b = 0;
+  uint32_t u_lo = 0;
+  uint32_t u_hi = 0;
+  double f_lo = 0;
+  double f_hi = 0;
+  std::vector<std::string> strings;
+
+  static Predicate U32InRange(uint16_t col, uint32_t lo, uint32_t hi) {
+    Predicate p;
+    p.kind = Kind::kU32InRange;
+    p.col_a = col;
+    p.u_lo = lo;
+    p.u_hi = hi;
+    return p;
+  }
+  static Predicate U32AtMost(uint16_t col, uint32_t hi) {
+    Predicate p;
+    p.kind = Kind::kU32AtMost;
+    p.col_a = col;
+    p.u_hi = hi;
+    return p;
+  }
+  static Predicate F64InRange(uint16_t col, double lo, double hi) {
+    Predicate p;
+    p.kind = Kind::kF64InRange;
+    p.col_a = col;
+    p.f_lo = lo;
+    p.f_hi = hi;
+    return p;
+  }
+  static Predicate F64Below(uint16_t col, double hi) {
+    Predicate p;
+    p.kind = Kind::kF64Below;
+    p.col_a = col;
+    p.f_hi = hi;
+    return p;
+  }
+  static Predicate U32LessThanColumn(uint16_t col_a, uint16_t col_b) {
+    Predicate p;
+    p.kind = Kind::kU32LessThanColumn;
+    p.col_a = col_a;
+    p.col_b = col_b;
+    return p;
+  }
+  static Predicate StringIn(uint16_t col, std::vector<std::string> values) {
+    Predicate p;
+    p.kind = Kind::kStringIn;
+    p.col_a = col;
+    p.strings = std::move(values);
+    return p;
+  }
+};
+
+/// Refine the chunk's selection vector through a predicate chain, in order,
+/// short-circuiting as soon as no row survives. Stateless across chunks, so
+/// any number of workers push through one FilterOp concurrently.
+class FilterOp final : public Operator {
+ public:
+  explicit FilterOp(std::vector<Predicate> predicates);
+
+  void Push(Chunk *chunk) override;
+
+ private:
+  std::vector<Predicate> predicates_;
+  /// Views into predicates_[i].strings, prebuilt for vector_ops::FilterStringIn.
+  std::vector<std::vector<std::string_view>> string_views_;
+};
+
+}  // namespace mainline::execution::op

@@ -1,0 +1,63 @@
+#include "execution/operators/hash_join_op.h"
+
+namespace mainline::execution::op {
+
+bool PayloadSpec::Matches(std::string_view value) const {
+  if (kind == Kind::kStringPrefix) return value.starts_with(strings.front());
+  for (const std::string &candidate : strings) {
+    if (value == candidate) return true;
+  }
+  return false;
+}
+
+void HashJoinBuildOp::Push(Chunk *chunk) {
+  MAINLINE_ASSERT(!chunk->probed, "a join build consumes base rows, not match lists");
+  const arrowlite::Array &keys = chunk->batch->Column(key_col_);
+  const int64_t *key_values = keys.buffer(0)->data_as<int64_t>();
+  const arrowlite::Array &payload_col = chunk->batch->Column(payload_.col);
+  std::vector<JoinEntry> *out = &per_block_[chunk->block_ordinal];
+  out->reserve(out->size() + chunk->sel.Size());
+  const bool has_nulls = keys.null_count() != 0 || payload_col.null_count() != 0;
+
+  const auto emit = [&](auto &&payload_of_row) {
+    if (has_nulls) {
+      for (const uint32_t row : chunk->sel) {
+        if (keys.IsNull(row) || payload_col.IsNull(row)) continue;
+        out->push_back({key_values[row], payload_of_row(row)});
+      }
+    } else {
+      for (const uint32_t row : chunk->sel) {
+        out->push_back({key_values[row], payload_of_row(row)});
+      }
+    }
+  };
+
+  switch (payload_.kind) {
+    case PayloadSpec::Kind::kInt64Column: {
+      const int64_t *values = payload_col.buffer(0)->data_as<int64_t>();
+      emit([values](uint32_t row) { return static_cast<uint64_t>(values[row]); });
+      break;
+    }
+    case PayloadSpec::Kind::kStringIn:
+    case PayloadSpec::Kind::kStringPrefix: {
+      if (payload_col.type() == arrowlite::Type::kDictionary) {
+        // Classify each distinct string once, then emit by code.
+        const arrowlite::Array &dict = *payload_col.dictionary();
+        std::vector<uint64_t> payload_of_code(static_cast<size_t>(dict.length()));
+        for (int64_t code = 0; code < dict.length(); code++) {
+          payload_of_code[static_cast<size_t>(code)] =
+              payload_.Matches(dict.GetString(code)) ? 1 : 0;
+        }
+        const int32_t *codes = payload_col.buffer(0)->data_as<int32_t>();
+        emit([&](uint32_t row) { return payload_of_code[static_cast<size_t>(codes[row])]; });
+      } else {
+        emit([&](uint32_t row) {
+          return payload_.Matches(payload_col.GetString(row)) ? uint64_t{1} : uint64_t{0};
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mainline::execution::op

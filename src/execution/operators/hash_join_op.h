@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "execution/hash_join.h"
+#include "execution/operators/operator.h"
+
+namespace mainline::execution::op {
+
+/// How the build side derives each entry's 8-byte payload — the value every
+/// probe match hands downstream. String forms classify dictionary codes once
+/// per batch, so frozen build scans never touch the strings row-by-row.
+struct PayloadSpec {
+  enum class Kind : uint8_t {
+    kInt64Column,   ///< the value of an int64 column, verbatim
+    kStringIn,      ///< 1 if a string column's value is in a literal list, else 0
+    kStringPrefix,  ///< 1 if a string column's value starts with a prefix, else 0
+  };
+
+  Kind kind = Kind::kInt64Column;
+  uint16_t col = 0;
+  std::vector<std::string> strings;
+
+  static PayloadSpec Int64Column(uint16_t col) {
+    PayloadSpec p;
+    p.kind = Kind::kInt64Column;
+    p.col = col;
+    return p;
+  }
+  static PayloadSpec StringIn(uint16_t col, std::vector<std::string> values) {
+    PayloadSpec p;
+    p.kind = Kind::kStringIn;
+    p.col = col;
+    p.strings = std::move(values);
+    return p;
+  }
+  static PayloadSpec StringPrefix(uint16_t col, std::string prefix) {
+    PayloadSpec p;
+    p.kind = Kind::kStringPrefix;
+    p.col = col;
+    p.strings.push_back(std::move(prefix));
+    return p;
+  }
+
+  bool Matches(std::string_view value) const;
+};
+
+/// Pipeline-breaking sink that builds a JoinHashTable: Push collects each
+/// selected row's (key, payload) into a per-block-ordinal entry list, and
+/// Finish scatters the lists in block order into the partitioned table
+/// (parallel over the run's pool when one is available) — the same
+/// three-step lock-free build as JoinHashTable::Build, so partition contents
+/// and duplicate-match order stay deterministic at any worker count. Rows
+/// with a null key or null payload column are dropped (SQL join semantics).
+///
+/// The build pipeline must Run before any pipeline probing this table;
+/// PhysicalPlan runs pipelines in insertion order, which PipelineBuilder
+/// arranges naturally.
+class HashJoinBuildOp final : public Operator {
+ public:
+  HashJoinBuildOp(uint16_t key_col, PayloadSpec payload)
+      : key_col_(key_col), payload_(std::move(payload)) {}
+
+  void Prepare(size_t num_blocks) override {
+    per_block_.assign(num_blocks, {});
+    table_ = JoinHashTable();
+  }
+
+  void Push(Chunk *chunk) override;
+
+  void Finish(common::WorkerPool *pool) override {
+    table_ = JoinHashTable::FromOrdinalLists(per_block_, pool);
+    per_block_.clear();
+  }
+
+  /// The finished table; valid once this operator's pipeline has Run.
+  const JoinHashTable &Table() const { return table_; }
+
+ private:
+  uint16_t key_col_;
+  PayloadSpec payload_;
+  std::vector<std::vector<JoinEntry>> per_block_;
+  JoinHashTable table_;
+};
+
+/// Probe a HashJoinBuildOp's table with an int64 key column: the selection
+/// is turned into the chunk's match list — (row, payload) per match, rows
+/// repeated for duplicate build keys, in the table's deterministic match
+/// order — and only chunks with at least one match flow on. Null keys match
+/// nothing. The probe is read-only on the shared table, so any number of
+/// workers push concurrently.
+class HashJoinProbeOp final : public Operator {
+ public:
+  HashJoinProbeOp(uint16_t key_col, const HashJoinBuildOp *build)
+      : key_col_(key_col), build_(build) {}
+
+  void Push(Chunk *chunk) override {
+    MAINLINE_ASSERT(!chunk->probed, "one probe per pipeline (multi-way joins are future work)");
+    chunk->probed = true;
+    const JoinHashTable &table = build_->Table();
+    if (chunk->sel.Empty() || table.Empty()) return;
+    table.ProbeSelected(chunk->batch->Column(key_col_), chunk->sel,
+                        [chunk](uint32_t row, uint64_t payload) {
+                          chunk->matches.push_back({row, payload});
+                        });
+    if (chunk->matches.empty()) return;
+    PushNext(chunk);
+  }
+
+ private:
+  uint16_t key_col_;
+  const HashJoinBuildOp *build_;
+};
+
+}  // namespace mainline::execution::op

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "execution/operators/aggregate_op.h"
+#include "execution/operators/filter_op.h"
+#include "execution/operators/hash_join_op.h"
+#include "execution/operators/project_op.h"
+#include "execution/operators/scan_source.h"
+
+namespace mainline::execution::op {
+
+/// One push-based pipeline: a ScanSource feeding a chain of operators. The
+/// pipeline owns its operators; Add wires each new operator as the previous
+/// one's successor, so construction order is chain order.
+class Pipeline {
+ public:
+  Pipeline(storage::SqlTable *table, std::vector<uint16_t> projection)
+      : source_(table, std::move(projection)) {}
+
+  DISALLOW_COPY_AND_MOVE(Pipeline)
+
+  /// Construct an operator at the end of the chain. \return the operator,
+  /// non-owning (handy for keeping a handle to a sink).
+  template <typename OpT, typename... Args>
+  OpT *Add(Args &&...args) {
+    auto owned = std::make_unique<OpT>(std::forward<Args>(args)...);
+    OpT *raw = owned.get();
+    if (!ops_.empty()) ops_.back()->SetNext(raw);
+    ops_.push_back(std::move(owned));
+    return raw;
+  }
+
+  ScanSource &Source() { return source_; }
+
+  /// Run to completion: Prepare every operator, stream the scan, then Finish
+  /// in chain order. Inline when `pool` is null, morsel-parallel otherwise.
+  void Run(transaction::TransactionContext *txn, common::WorkerPool *pool, ScanStats *stats) {
+    MAINLINE_ASSERT(!ops_.empty(), "a pipeline needs at least one operator");
+    source_.Run(
+        txn, pool, ops_.front().get(),
+        [this](size_t num_blocks) {
+          for (const auto &op : ops_) op->Prepare(num_blocks);
+        },
+        stats);
+    for (const auto &op : ops_) op->Finish(pool);
+  }
+
+ private:
+  ScanSource source_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+/// A query as data: pipelines executed in insertion order (so a hash-join
+/// build pipeline completes before the pipeline probing its table starts).
+/// Plans are reusable — Run again for a fresh execution, against the same or
+/// a different snapshot — but a single Run must finish before the next
+/// begins.
+class PhysicalPlan {
+ public:
+  PhysicalPlan() = default;
+
+  DISALLOW_COPY_AND_MOVE(PhysicalPlan)
+
+  Pipeline *AddPipeline(storage::SqlTable *table, std::vector<uint16_t> projection) {
+    pipelines_.push_back(std::make_unique<Pipeline>(table, std::move(projection)));
+    return pipelines_.back().get();
+  }
+
+  /// Execute every pipeline in order. `txn` must stay read-only while the
+  /// plan runs; a null (or zero-worker) pool degrades every pipeline to an
+  /// inline scan. `stats` accumulates all pipelines' scan counters.
+  void Run(transaction::TransactionContext *txn, common::WorkerPool *pool = nullptr,
+           ScanStats *stats = nullptr) {
+    for (const auto &pipeline : pipelines_) pipeline->Run(txn, pool, stats);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pipeline>> pipelines_;
+};
+
+/// Fluent sugar for wiring a PhysicalPlan: Scan starts a pipeline, the
+/// chainable calls append operators to it, and the sink calls (JoinBuild,
+/// Aggregate) return the operator handle the caller reads results from.
+///
+///   op::PhysicalPlan plan;
+///   op::PipelineBuilder builder(&plan);
+///   builder.Scan(orders, {O_ORDERKEY, O_ORDERPRIORITY});
+///   auto *build = builder.JoinBuild(0, op::PayloadSpec::StringIn(1, {"1-URGENT", "2-HIGH"}));
+///   builder.Scan(lineitem, projection).Filter({...}).JoinProbe(key, build);
+///   auto *agg = builder.Aggregate({mode_col}, {op::AggSpec::SumPayload(), op::AggSpec::Count()});
+///   plan.Run(txn, pool, &stats);
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(PhysicalPlan *plan) : plan_(plan) {}
+
+  PipelineBuilder &Scan(storage::SqlTable *table, std::vector<uint16_t> projection) {
+    current_ = plan_->AddPipeline(table, std::move(projection));
+    return *this;
+  }
+
+  PipelineBuilder &Filter(std::vector<Predicate> predicates) {
+    Current()->Add<FilterOp>(std::move(predicates));
+    return *this;
+  }
+
+  PipelineBuilder &Project(std::vector<Expr> exprs) {
+    Current()->Add<ProjectOp>(std::move(exprs));
+    return *this;
+  }
+
+  HashJoinBuildOp *JoinBuild(uint16_t key_col, PayloadSpec payload) {
+    return Current()->Add<HashJoinBuildOp>(key_col, std::move(payload));
+  }
+
+  PipelineBuilder &JoinProbe(uint16_t key_col, const HashJoinBuildOp *build) {
+    Current()->Add<HashJoinProbeOp>(key_col, build);
+    return *this;
+  }
+
+  AggregateOp *Aggregate(std::vector<uint16_t> group_cols, std::vector<AggSpec> aggs) {
+    return Current()->Add<AggregateOp>(std::move(group_cols), std::move(aggs));
+  }
+
+ private:
+  Pipeline *Current() {
+    MAINLINE_ASSERT(current_ != nullptr, "call Scan before adding operators");
+    return current_;
+  }
+
+  PhysicalPlan *plan_;
+  Pipeline *current_ = nullptr;
+};
+
+}  // namespace mainline::execution::op

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "execution/operators/operator.h"
+
+namespace mainline::execution::op {
+
+/// Append computed columns to the chunk: each Expr is evaluated for every
+/// live row (the selection, or the join matches' rows downstream of a
+/// probe) into a dense per-row buffer addressed by ColumnRef::Computed(i),
+/// where `i` counts this operator's expressions in order on top of any
+/// computed columns an earlier ProjectOp already appended. Evaluating once
+/// and letting several aggregates share the buffer is bit-identical to
+/// re-evaluating per aggregate — the forms in Expr are deterministic — so
+/// plans are free to project for clarity or reuse.
+///
+/// Rows whose inputs are null get an arbitrary value; the computed column
+/// carries its inputs' null sources forward, and consumers skip those rows
+/// the same way they would for a raw column.
+class ProjectOp final : public Operator {
+ public:
+  explicit ProjectOp(std::vector<Expr> exprs) : exprs_(std::move(exprs)) {}
+
+  void Push(Chunk *chunk) override;
+
+ private:
+  std::vector<Expr> exprs_;
+};
+
+}  // namespace mainline::execution::op

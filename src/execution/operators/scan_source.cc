@@ -1,0 +1,41 @@
+#include "execution/operators/scan_source.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/spin_latch.h"
+#include "execution/parallel_scanner.h"
+
+namespace mainline::execution::op {
+
+void ScanSource::Run(transaction::TransactionContext *txn, common::WorkerPool *pool,
+                     Operator *root, const std::function<void(size_t)> &prepare,
+                     ScanStats *stats) {
+  ParallelTableScanner scanner(table_, txn, projection_);
+  prepare(scanner.NumBlocks());
+
+  // A tiny free list of reusable chunks: a worker checks one out per block
+  // and returns it after the push, so concurrent workers never share a chunk
+  // and a sequential scan reuses a single one for the whole table.
+  common::SpinLatch latch;
+  std::vector<std::unique_ptr<Chunk>> free_chunks;
+  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
+    std::unique_ptr<Chunk> chunk;
+    latch.Lock();
+    if (!free_chunks.empty()) {
+      chunk = std::move(free_chunks.back());
+      free_chunks.pop_back();
+    }
+    latch.Unlock();
+    if (chunk == nullptr) chunk = std::make_unique<Chunk>();
+    chunk->Reset(ordinal, batch);
+    root->Push(chunk.get());
+    chunk->batch = nullptr;  // the batch dies with this callback
+    latch.Lock();
+    free_chunks.push_back(std::move(chunk));
+    latch.Unlock();
+  });
+  if (stats != nullptr) stats->Add(scanner.Stats());
+}
+
+}  // namespace mainline::execution::op

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -12,19 +13,21 @@
 
 namespace mainline::execution {
 
-/// Which engine answers a query: the vectorized dual-path executor, the
-/// morsel-parallel executor on top of it, or the tuple-at-a-time scalar
-/// reference both are benchmarked (and verified) against. All three return
+/// Which engine answers a query: the operator-pipeline plan run inline, the
+/// same plan run morsel-parallel, or the tuple-at-a-time scalar reference
+/// both are benchmarked (and verified) against. All three return
 /// bit-identical results (see tpch_queries.h on the canonical per-block
 /// accumulation order).
 enum class ExecMode : uint8_t { kVectorized = 0, kScalar, kParallel };
 
 /// Facade over the execution layer: begins a snapshot transaction, runs the
-/// query through the chosen engine, commits, and reports scan statistics —
-/// the one-call entry point examples, benchmarks, and external embedders use
-/// for in-situ analytics over live tables.
+/// query plan through the chosen engine, commits, and reports scan
+/// statistics — the one-call entry point examples, benchmarks, and external
+/// embedders use for in-situ analytics over live tables. The per-query
+/// methods are thin wrappers around one Execute helper, so adding a query
+/// costs a plan composition (tpch_queries.cc) plus a few lines here.
 ///
-/// The runner owns the worker pool ExecMode::kParallel scans over; it is
+/// The runner owns the worker pool ExecMode::kParallel plans run over; it is
 /// created lazily on the first parallel query and sized by the `num_threads`
 /// knob (constructor argument or SetNumThreads; 0 = hardware concurrency).
 class QueryRunner {
@@ -62,64 +65,65 @@ class QueryRunner {
     ScanStats stats;
   };
 
+  /// Q14's stats cover both scans: the PART build and the LINEITEM probe.
+  struct Q14Result {
+    double promo_revenue = 0;
+    ScanStats stats;
+  };
+
   Q1Result RunQ1(storage::SqlTable *table, const tpch::Q1Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
-    Q1Result result;
-    transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
-    switch (mode) {
-      case ExecMode::kVectorized:
-        result.rows = tpch::RunQ1(table, txn, params, &result.stats);
-        break;
-      case ExecMode::kScalar:
-        result.rows = tpch::RunQ1Scalar(table, txn, params, &result.stats);
-        break;
-      case ExecMode::kParallel:
-        result.rows = tpch::RunQ1Parallel(table, txn, params, Pool(), &result.stats);
-        break;
-    }
-    txn_manager_->Commit(txn);
-    return result;
+    return Execute<Q1Result>(mode, [&](auto *txn, auto *pool, Q1Result *result) {
+      result->rows = mode == ExecMode::kScalar
+                         ? tpch::RunQ1Scalar(table, txn, params, &result->stats)
+                         : tpch::RunQ1Parallel(table, txn, params, pool, &result->stats);
+    });
   }
 
   Q6Result RunQ6(storage::SqlTable *table, const tpch::Q6Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
-    Q6Result result;
-    transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
-    switch (mode) {
-      case ExecMode::kVectorized:
-        result.revenue = tpch::RunQ6(table, txn, params, &result.stats);
-        break;
-      case ExecMode::kScalar:
-        result.revenue = tpch::RunQ6Scalar(table, txn, params, &result.stats);
-        break;
-      case ExecMode::kParallel:
-        result.revenue = tpch::RunQ6Parallel(table, txn, params, Pool(), &result.stats);
-        break;
-    }
-    txn_manager_->Commit(txn);
-    return result;
+    return Execute<Q6Result>(mode, [&](auto *txn, auto *pool, Q6Result *result) {
+      result->revenue = mode == ExecMode::kScalar
+                            ? tpch::RunQ6Scalar(table, txn, params, &result->stats)
+                            : tpch::RunQ6Parallel(table, txn, params, pool, &result->stats);
+    });
   }
 
   Q12Result RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
                    const tpch::Q12Params &params = {}, ExecMode mode = ExecMode::kVectorized) {
-    Q12Result result;
+    return Execute<Q12Result>(mode, [&](auto *txn, auto *pool, Q12Result *result) {
+      result->rows =
+          mode == ExecMode::kScalar
+              ? tpch::RunQ12Scalar(orders, lineitem, txn, params, &result->stats)
+              : tpch::RunQ12Parallel(orders, lineitem, txn, params, pool, &result->stats);
+    });
+  }
+
+  Q14Result RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+                   const tpch::Q14Params &params = {}, ExecMode mode = ExecMode::kVectorized) {
+    return Execute<Q14Result>(mode, [&](auto *txn, auto *pool, Q14Result *result) {
+      result->promo_revenue =
+          mode == ExecMode::kScalar
+              ? tpch::RunQ14Scalar(lineitem, part, txn, params, &result->stats)
+              : tpch::RunQ14Parallel(lineitem, part, txn, params, pool, &result->stats);
+    });
+  }
+
+ private:
+  /// The txn/dispatch/stats/commit plumbing every query shares: begin a
+  /// snapshot transaction, hand the query the worker pool its mode calls for
+  /// (the lazily built pool for kParallel, none otherwise — a null pool runs
+  /// a plan inline), commit, return. `query(txn, pool, &result)` fills the
+  /// result in between.
+  template <typename Result, typename Query>
+  Result Execute(ExecMode mode, Query &&query) {
+    Result result;
     transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
-    switch (mode) {
-      case ExecMode::kVectorized:
-        result.rows = tpch::RunQ12(orders, lineitem, txn, params, &result.stats);
-        break;
-      case ExecMode::kScalar:
-        result.rows = tpch::RunQ12Scalar(orders, lineitem, txn, params, &result.stats);
-        break;
-      case ExecMode::kParallel:
-        result.rows = tpch::RunQ12Parallel(orders, lineitem, txn, params, Pool(), &result.stats);
-        break;
-    }
+    query(txn, mode == ExecMode::kParallel ? Pool() : nullptr, &result);
     txn_manager_->Commit(txn);
     return result;
   }
 
- private:
   static uint32_t ResolveThreads(uint32_t num_threads) {
     if (num_threads != 0) return num_threads;
     const uint32_t hw = std::thread::hardware_concurrency();

@@ -4,24 +4,22 @@
 #include <string_view>
 #include <unordered_map>
 
-#include "common/selection_vector.h"
-#include "execution/hash_join.h"
-#include "execution/parallel_scanner.h"
-#include "execution/vector_ops.h"
+#include "execution/operators/pipeline.h"
 #include "workload/row_util.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
+#include "workload/tpch/part.h"
 
 namespace mainline::execution::tpch {
 
 namespace {
 
-using common::SelectionVector;
 using workload::tpch::L_COMMITDATE;
 using workload::tpch::L_DISCOUNT;
 using workload::tpch::L_EXTENDEDPRICE;
 using workload::tpch::L_LINESTATUS;
 using workload::tpch::L_ORDERKEY;
+using workload::tpch::L_PARTKEY;
 using workload::tpch::L_QUANTITY;
 using workload::tpch::L_RECEIPTDATE;
 using workload::tpch::L_RETURNFLAG;
@@ -30,265 +28,251 @@ using workload::tpch::L_SHIPMODE;
 using workload::tpch::L_TAX;
 using workload::tpch::O_ORDERKEY;
 using workload::tpch::O_ORDERPRIORITY;
-
-/// Running aggregates of one Q1 group — either a per-block partial or the
-/// merged global accumulator; both use the same shape.
-struct Q1Acc {
-  std::string returnflag;
-  std::string linestatus;
-  double sum_qty = 0;
-  double sum_base_price = 0;
-  double sum_disc_price = 0;
-  double sum_charge = 0;
-  double sum_discount = 0;
-  uint64_t count = 0;
-};
-
-/// Group lookup without hashing: Q1 has at most |returnflag| x |linestatus|
-/// (six) groups, so a linear probe over the group list beats any hash table.
-uint32_t FindOrAddGroup(std::vector<Q1Acc> *groups, std::string_view flag,
-                        std::string_view status) {
-  for (uint32_t g = 0; g < groups->size(); g++) {
-    if ((*groups)[g].returnflag == flag && (*groups)[g].linestatus == status) return g;
-  }
-  Q1Acc acc;
-  acc.returnflag = std::string(flag);
-  acc.linestatus = std::string(status);
-  groups->push_back(std::move(acc));
-  return static_cast<uint32_t>(groups->size() - 1);
-}
-
-/// Fold one block's Q1 partial into the global accumulators — ONE addition
-/// per aggregate per (block, group), in the partial's group-discovery order.
-/// Every engine funnels through this in block order, which is what pins the
-/// floating-point result shape (see the header's canonical-order note).
-void MergeQ1Partial(std::vector<Q1Acc> *global, const std::vector<Q1Acc> &partial) {
-  for (const Q1Acc &acc : partial) {
-    Q1Acc *dst = &(*global)[FindOrAddGroup(global, acc.returnflag, acc.linestatus)];
-    dst->sum_qty += acc.sum_qty;
-    dst->sum_base_price += acc.sum_base_price;
-    dst->sum_disc_price += acc.sum_disc_price;
-    dst->sum_charge += acc.sum_charge;
-    dst->sum_discount += acc.sum_discount;
-    dst->count += acc.count;
-  }
-}
-
-/// Finalize accumulators into sorted result rows. The engines share this so
-/// the averages divide identically.
-std::vector<Q1Row> FinalizeQ1(std::vector<Q1Acc> groups) {
-  std::vector<Q1Row> rows;
-  rows.reserve(groups.size());
-  for (Q1Acc &acc : groups) {
-    Q1Row row;
-    row.returnflag = std::move(acc.returnflag);
-    row.linestatus = std::move(acc.linestatus);
-    row.sum_qty = acc.sum_qty;
-    row.sum_base_price = acc.sum_base_price;
-    row.sum_disc_price = acc.sum_disc_price;
-    row.sum_charge = acc.sum_charge;
-    row.avg_qty = acc.sum_qty / static_cast<double>(acc.count);
-    row.avg_price = acc.sum_base_price / static_cast<double>(acc.count);
-    row.avg_disc = acc.sum_discount / static_cast<double>(acc.count);
-    row.count = acc.count;
-    rows.push_back(std::move(row));
-  }
-  std::sort(rows.begin(), rows.end(), [](const Q1Row &a, const Q1Row &b) {
-    if (a.returnflag != b.returnflag) return a.returnflag < b.returnflag;
-    return a.linestatus < b.linestatus;
-  });
-  return rows;
-}
-
-/// Batch column indices of the Q1 projection, resolved once per query.
-struct Q1Columns {
-  uint16_t qty, price, disc, tax, flag, status, ship;
-};
+using workload::tpch::P_PARTKEY;
+using workload::tpch::P_TYPE;
 
 const std::vector<uint16_t> kQ1Projection = {L_QUANTITY,   L_EXTENDEDPRICE, L_DISCOUNT,
                                              L_TAX,        L_RETURNFLAG,    L_LINESTATUS,
                                              L_SHIPDATE};
-
-Q1Columns ResolveQ1Columns(const std::vector<uint16_t> &projection) {
-  return {ProjectionIndexOf(projection, L_QUANTITY),
-          ProjectionIndexOf(projection, L_EXTENDEDPRICE),
-          ProjectionIndexOf(projection, L_DISCOUNT),
-          ProjectionIndexOf(projection, L_TAX),
-          ProjectionIndexOf(projection, L_RETURNFLAG),
-          ProjectionIndexOf(projection, L_LINESTATUS),
-          ProjectionIndexOf(projection, L_SHIPDATE)};
-}
-
-/// Compute one batch's (== one block's) Q1 partial: filter on shipdate, then
-/// grouped accumulation in selection order into `partial` (empty on entry).
-void AccumulateQ1Batch(const ColumnVectorBatch &batch, const Q1Params &params,
-                       const Q1Columns &c, SelectionVector *sel,
-                       std::vector<Q1Acc> *partial) {
-  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
-  vector_ops::FilterFixed<uint32_t>(batch.Column(c.ship), sel,
-                                    [&](uint32_t v) { return v <= params.shipdate_max; });
-  if (sel->Empty()) return;
-
-  const double *qty = batch.Column(c.qty).buffer(0)->data_as<double>();
-  const double *price = batch.Column(c.price).buffer(0)->data_as<double>();
-  const double *disc = batch.Column(c.disc).buffer(0)->data_as<double>();
-  const double *tax = batch.Column(c.tax).buffer(0)->data_as<double>();
-  const auto accumulate = [&](Q1Acc *acc, uint32_t row) {
-    acc->sum_qty += qty[row];
-    acc->sum_base_price += price[row];
-    const double disc_price = price[row] * (1.0 - disc[row]);
-    acc->sum_disc_price += disc_price;
-    acc->sum_charge += disc_price * (1.0 + tax[row]);
-    acc->sum_discount += disc[row];
-    acc->count++;
-  };
-
-  const arrowlite::Array &flag = batch.Column(c.flag);
-  const arrowlite::Array &status = batch.Column(c.status);
-  if (flag.type() == arrowlite::Type::kDictionary &&
-      status.type() == arrowlite::Type::kDictionary) {
-    // Dictionary-encoded batch (frozen, dictionary gather mode): the group
-    // key collapses to a (flag code, status code) pair, so grouping is a
-    // direct lookup in a dense code-pair table — no strings, no hashing.
-    const auto num_status = static_cast<uint32_t>(status.dictionary()->length());
-    std::vector<int32_t> group_of_pair(flag.dictionary()->length() * num_status, -1);
-    const int32_t *flag_codes = flag.buffer(0)->data_as<int32_t>();
-    const int32_t *status_codes = status.buffer(0)->data_as<int32_t>();
-    sel->ForEach([&](uint32_t row) {
-      const uint32_t key = static_cast<uint32_t>(flag_codes[row]) * num_status +
-                           static_cast<uint32_t>(status_codes[row]);
-      int32_t g = group_of_pair[key];
-      if (UNLIKELY(g < 0)) {
-        g = static_cast<int32_t>(
-            FindOrAddGroup(partial, flag.dictionary()->GetString(flag_codes[row]),
-                           status.dictionary()->GetString(status_codes[row])));
-        group_of_pair[key] = g;
-      }
-      accumulate(&(*partial)[static_cast<uint32_t>(g)], row);
-    });
-  } else {
-    sel->ForEach([&](uint32_t row) {
-      const uint32_t g = FindOrAddGroup(partial, flag.GetString(row), status.GetString(row));
-      accumulate(&(*partial)[g], row);
-    });
-  }
-}
-
-/// One block's Q6 partial. `selected` gates the merge: a block with no
-/// qualifying rows contributes no merge addition in any engine.
-struct Q6Partial {
-  double revenue = 0;
-  uint64_t selected = 0;
-};
-
-/// Batch column indices of the Q6 projection.
-struct Q6Columns {
-  uint16_t qty, price, disc, ship;
-};
-
 const std::vector<uint16_t> kQ6Projection = {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT,
                                              L_SHIPDATE};
+const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY};
+const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
+                                                      L_RECEIPTDATE, L_SHIPMODE};
+const std::vector<uint16_t> kQ14PartProjection = {P_PARTKEY, P_TYPE};
+const std::vector<uint16_t> kQ14LineitemProjection = {L_PARTKEY, L_EXTENDEDPRICE, L_DISCOUNT,
+                                                      L_SHIPDATE};
 
-Q6Columns ResolveQ6Columns(const std::vector<uint16_t> &projection) {
-  return {ProjectionIndexOf(projection, L_QUANTITY),
-          ProjectionIndexOf(projection, L_EXTENDEDPRICE),
-          ProjectionIndexOf(projection, L_DISCOUNT),
-          ProjectionIndexOf(projection, L_SHIPDATE)};
+bool IsHighPriority(std::string_view priority) {
+  return priority == "1-URGENT" || priority == "2-HIGH";
 }
 
-Q6Partial AccumulateQ6Batch(const ColumnVectorBatch &batch, const Q6Params &params,
-                            const Q6Columns &c, SelectionVector *sel) {
-  Q6Partial partial;
-  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
-  vector_ops::FilterRange<uint32_t>(batch.Column(c.ship), sel, params.shipdate_min,
-                                    params.shipdate_max);
-  vector_ops::FilterFixed<double>(batch.Column(c.disc), sel, [&](double v) {
-    return params.discount_min <= v && v <= params.discount_max;
+// Finalize helpers shared by the plan compositions and the scalar oracles,
+// so the result-shaping arithmetic (Q1's average divisions, Q14's ratio) and
+// the output ordering stay identical by construction — an engine can only
+// diverge in accumulation, which the per-block merge already pins.
+
+Q1Row MakeQ1Row(std::string returnflag, std::string linestatus, double sum_qty,
+                double sum_base_price, double sum_disc_price, double sum_charge,
+                double sum_discount, uint64_t count) {
+  Q1Row row;
+  row.returnflag = std::move(returnflag);
+  row.linestatus = std::move(linestatus);
+  row.sum_qty = sum_qty;
+  row.sum_base_price = sum_base_price;
+  row.sum_disc_price = sum_disc_price;
+  row.sum_charge = sum_charge;
+  row.avg_qty = sum_qty / static_cast<double>(count);
+  row.avg_price = sum_base_price / static_cast<double>(count);
+  row.avg_disc = sum_discount / static_cast<double>(count);
+  row.count = count;
+  return row;
+}
+
+void SortQ1Rows(std::vector<Q1Row> *rows) {
+  std::sort(rows->begin(), rows->end(), [](const Q1Row &a, const Q1Row &b) {
+    if (a.returnflag != b.returnflag) return a.returnflag < b.returnflag;
+    return a.linestatus < b.linestatus;
   });
-  vector_ops::FilterFixed<double>(batch.Column(c.qty), sel,
-                                  [&](double v) { return v < params.quantity_max; });
-  partial.selected = sel->Size();
-  vector_ops::AccumulateDotProduct(batch.Column(c.price), batch.Column(c.disc), *sel,
-                                   &partial.revenue);
-  return partial;
+}
+
+void SortQ12Rows(std::vector<Q12Row> *rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const Q12Row &a, const Q12Row &b) { return a.shipmode < b.shipmode; });
+}
+
+double FinalizeQ14(double total_revenue, double promo_revenue) {
+  return total_revenue == 0 ? 0.0 : 100.0 * promo_revenue / total_revenue;
+}
+
+// ---------------------------------------------------------------------------
+// Plan compositions. Each query is wired from the operator building blocks;
+// a null pool runs the plan inline, a pool runs every pipeline
+// morsel-parallel. The per-block-partial merge inside AggregateOp keeps the
+// result identical either way (see the header).
+// ---------------------------------------------------------------------------
+
+std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
+                             const Q1Params &params, common::WorkerPool *pool,
+                             ScanStats *stats) {
+  const uint16_t qty = ProjectionIndexOf(kQ1Projection, L_QUANTITY);
+  const uint16_t price = ProjectionIndexOf(kQ1Projection, L_EXTENDEDPRICE);
+  const uint16_t disc = ProjectionIndexOf(kQ1Projection, L_DISCOUNT);
+  const uint16_t tax = ProjectionIndexOf(kQ1Projection, L_TAX);
+  const uint16_t flag = ProjectionIndexOf(kQ1Projection, L_RETURNFLAG);
+  const uint16_t status = ProjectionIndexOf(kQ1Projection, L_LINESTATUS);
+  const uint16_t ship = ProjectionIndexOf(kQ1Projection, L_SHIPDATE);
+
+  op::PhysicalPlan plan;
+  op::PipelineBuilder builder(&plan);
+  builder.Scan(table, kQ1Projection)
+      .Filter({op::Predicate::U32AtMost(ship, params.shipdate_max)});
+  op::AggregateOp *agg = builder.Aggregate(
+      {flag, status},
+      {op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Batch(qty))),
+       op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Batch(price))),
+       op::AggSpec::Sum(
+           op::Expr::Discounted(op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc))),
+       op::AggSpec::Sum(op::Expr::DiscountedTaxed(
+           op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc), op::ColumnRef::Batch(tax))),
+       op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Batch(disc))),
+       op::AggSpec::Count()});
+  plan.Run(txn, pool, stats);
+
+  std::vector<Q1Row> rows;
+  rows.reserve(agg->Result().size());
+  for (const op::ResultRow &group : agg->Result()) {
+    rows.push_back(MakeQ1Row(group.keys[0], group.keys[1], group.values[0].f64,
+                             group.values[1].f64, group.values[2].f64, group.values[3].f64,
+                             group.values[4].f64, group.values[5].u64));
+  }
+  SortQ1Rows(&rows);  // already key-sorted by AggregateOp; kept for one shared order
+  return rows;
+}
+
+double RunQ6Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
+                 const Q6Params &params, common::WorkerPool *pool, ScanStats *stats) {
+  const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
+  const uint16_t price = ProjectionIndexOf(kQ6Projection, L_EXTENDEDPRICE);
+  const uint16_t disc = ProjectionIndexOf(kQ6Projection, L_DISCOUNT);
+  const uint16_t ship = ProjectionIndexOf(kQ6Projection, L_SHIPDATE);
+
+  op::PhysicalPlan plan;
+  op::PipelineBuilder builder(&plan);
+  builder.Scan(table, kQ6Projection)
+      .Filter({op::Predicate::U32InRange(ship, params.shipdate_min, params.shipdate_max),
+               op::Predicate::F64InRange(disc, params.discount_min, params.discount_max),
+               op::Predicate::F64Below(qty, params.quantity_max)});
+  op::AggregateOp *agg = builder.Aggregate(
+      {}, {op::AggSpec::Sum(
+              op::Expr::Mul(op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc)))});
+  plan.Run(txn, pool, stats);
+  return agg->Result().front().values[0].f64;
+}
+
+std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                               transaction::TransactionContext *txn, const Q12Params &params,
+                               common::WorkerPool *pool, ScanStats *stats) {
+  const uint16_t okey = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
+  const uint16_t prio = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
+  const uint16_t lkey = ProjectionIndexOf(kQ12LineitemProjection, L_ORDERKEY);
+  const uint16_t ship = ProjectionIndexOf(kQ12LineitemProjection, L_SHIPDATE);
+  const uint16_t commit = ProjectionIndexOf(kQ12LineitemProjection, L_COMMITDATE);
+  const uint16_t receipt = ProjectionIndexOf(kQ12LineitemProjection, L_RECEIPTDATE);
+  const uint16_t mode = ProjectionIndexOf(kQ12LineitemProjection, L_SHIPMODE);
+
+  op::PhysicalPlan plan;
+  op::PipelineBuilder builder(&plan);
+  builder.Scan(orders, kQ12OrdersProjection);
+  op::HashJoinBuildOp *build =
+      builder.JoinBuild(okey, op::PayloadSpec::StringIn(prio, {"1-URGENT", "2-HIGH"}));
+  builder.Scan(lineitem, kQ12LineitemProjection)
+      .Filter({op::Predicate::U32InRange(receipt, params.receiptdate_min,
+                                         params.receiptdate_max),
+               op::Predicate::U32LessThanColumn(commit, receipt),
+               op::Predicate::U32LessThanColumn(ship, commit),
+               op::Predicate::StringIn(mode, {params.shipmode_a, params.shipmode_b})})
+      .JoinProbe(lkey, build);
+  op::AggregateOp *agg =
+      builder.Aggregate({mode}, {op::AggSpec::SumPayload(), op::AggSpec::Count()});
+  plan.Run(txn, pool, stats);
+
+  std::vector<Q12Row> rows;
+  rows.reserve(agg->Result().size());
+  for (const op::ResultRow &group : agg->Result()) {
+    Q12Row row;
+    row.shipmode = group.keys[0];
+    row.high_line_count = group.values[0].u64;
+    row.low_line_count = group.values[1].u64 - group.values[0].u64;
+    rows.push_back(std::move(row));
+  }
+  SortQ12Rows(&rows);  // already key-sorted by AggregateOp; kept for one shared order
+  return rows;
+}
+
+double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
+                  transaction::TransactionContext *txn, const Q14Params &params,
+                  common::WorkerPool *pool, ScanStats *stats) {
+  const uint16_t pkey = ProjectionIndexOf(kQ14PartProjection, P_PARTKEY);
+  const uint16_t ptype = ProjectionIndexOf(kQ14PartProjection, P_TYPE);
+  const uint16_t lkey = ProjectionIndexOf(kQ14LineitemProjection, L_PARTKEY);
+  const uint16_t price = ProjectionIndexOf(kQ14LineitemProjection, L_EXTENDEDPRICE);
+  const uint16_t disc = ProjectionIndexOf(kQ14LineitemProjection, L_DISCOUNT);
+  const uint16_t ship = ProjectionIndexOf(kQ14LineitemProjection, L_SHIPDATE);
+
+  op::PhysicalPlan plan;
+  op::PipelineBuilder builder(&plan);
+  builder.Scan(part, kQ14PartProjection);
+  op::HashJoinBuildOp *build =
+      builder.JoinBuild(pkey, op::PayloadSpec::StringPrefix(ptype, params.promo_prefix));
+  // Project the discounted price once; both sums read the shared buffer.
+  builder.Scan(lineitem, kQ14LineitemProjection)
+      .Filter({op::Predicate::U32InRange(ship, params.shipdate_min, params.shipdate_max)})
+      .Project({op::Expr::Discounted(op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc))})
+      .JoinProbe(lkey, build);
+  op::AggregateOp *agg = builder.Aggregate(
+      {}, {op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Computed(0))),
+           op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Computed(0)),
+                            /*payload_gate=*/true)});
+  plan.Run(txn, pool, stats);
+
+  return FinalizeQ14(agg->Result().front().values[0].f64,
+                     agg->Result().front().values[1].f64);
 }
 
 }  // namespace
 
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
                          const Q1Params &params, ScanStats *stats) {
-  TableScanner scanner(table, txn, kQ1Projection);
-  const Q1Columns cols = ResolveQ1Columns(scanner.Projection());
-
-  std::vector<Q1Acc> groups;
-  std::vector<Q1Acc> partial;
-  SelectionVector sel;
-  ColumnVectorBatch batch;
-  while (scanner.Next(&batch)) {
-    partial.clear();
-    AccumulateQ1Batch(batch, params, cols, &sel, &partial);
-    batch.Release();
-    MergeQ1Partial(&groups, partial);
-  }
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return FinalizeQ1(std::move(groups));
-}
-
-double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
-             const Q6Params &params, ScanStats *stats) {
-  TableScanner scanner(table, txn, kQ6Projection);
-  const Q6Columns cols = ResolveQ6Columns(scanner.Projection());
-
-  double revenue = 0;
-  SelectionVector sel;
-  ColumnVectorBatch batch;
-  while (scanner.Next(&batch)) {
-    const Q6Partial partial = AccumulateQ6Batch(batch, params, cols, &sel);
-    batch.Release();
-    if (partial.selected != 0) revenue += partial.revenue;
-  }
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return revenue;
+  return RunQ1Plan(table, txn, params, nullptr, stats);
 }
 
 std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
                                  common::WorkerPool *pool, ScanStats *stats) {
-  ParallelTableScanner scanner(table, txn, kQ1Projection);
-  const Q1Columns cols = ResolveQ1Columns(scanner.Projection());
+  return RunQ1Plan(table, txn, params, pool, stats);
+}
 
-  // One partial slot per block ordinal: workers write disjoint slots, the
-  // merge below reads them in block order — no locks, deterministic result.
-  std::vector<std::vector<Q1Acc>> partials(scanner.NumBlocks());
-  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
-    SelectionVector sel;
-    AccumulateQ1Batch(*batch, params, cols, &sel, &partials[ordinal]);
-  });
-
-  std::vector<Q1Acc> groups;
-  for (const std::vector<Q1Acc> &partial : partials) MergeQ1Partial(&groups, partial);
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return FinalizeQ1(std::move(groups));
+double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+             const Q6Params &params, ScanStats *stats) {
+  return RunQ6Plan(table, txn, params, nullptr, stats);
 }
 
 double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
                      const Q6Params &params, common::WorkerPool *pool, ScanStats *stats) {
-  ParallelTableScanner scanner(table, txn, kQ6Projection);
-  const Q6Columns cols = ResolveQ6Columns(scanner.Projection());
-
-  std::vector<Q6Partial> partials(scanner.NumBlocks());
-  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
-    SelectionVector sel;
-    partials[ordinal] = AccumulateQ6Batch(*batch, params, cols, &sel);
-  });
-
-  double revenue = 0;
-  for (const Q6Partial &partial : partials) {
-    if (partial.selected != 0) revenue += partial.revenue;
-  }
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return revenue;
+  return RunQ6Plan(table, txn, params, pool, stats);
 }
+
+std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                           transaction::TransactionContext *txn, const Q12Params &params,
+                           ScanStats *stats) {
+  return RunQ12Plan(orders, lineitem, txn, params, nullptr, stats);
+}
+
+std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
+                                   transaction::TransactionContext *txn,
+                                   const Q12Params &params, common::WorkerPool *pool,
+                                   ScanStats *stats) {
+  return RunQ12Plan(orders, lineitem, txn, params, pool, stats);
+}
+
+double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+              transaction::TransactionContext *txn, const Q14Params &params,
+              ScanStats *stats) {
+  return RunQ14Plan(lineitem, part, txn, params, nullptr, stats);
+}
+
+double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
+                      transaction::TransactionContext *txn, const Q14Params &params,
+                      common::WorkerPool *pool, ScanStats *stats) {
+  return RunQ14Plan(lineitem, part, txn, params, pool, stats);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tuple-at-a-time references — the bit-exact oracles. They accumulate
+// the same per-block partials in the same order as the plans, through the
+// classic one-Select-per-slot iterator model.
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -297,7 +281,7 @@ namespace {
 /// projection must be sorted ascending; `visit` receives ProjectedRow
 /// indices in the same order. `block_done()` fires after the last slot of
 /// each block, so callers can fold per-block partials in block order —
-/// mirroring the vectorized engines' batch boundaries exactly.
+/// mirroring the pipeline engines' batch boundaries exactly.
 template <typename Visit, typename BlockDone>
 void ScalarScan(storage::SqlTable *table, transaction::TransactionContext *txn,
                 const std::vector<uint16_t> &projection, ScanStats *stats, Visit visit,
@@ -322,6 +306,31 @@ void ScalarScan(storage::SqlTable *table, transaction::TransactionContext *txn,
   if (stats != nullptr) stats->rows += rows;
 }
 
+/// Running aggregates of one scalar-Q1 group, per-block partial or merged
+/// global — the same accumulator shape AggregateOp keeps for the plan.
+struct Q1Acc {
+  std::string returnflag;
+  std::string linestatus;
+  double sum_qty = 0;
+  double sum_base_price = 0;
+  double sum_disc_price = 0;
+  double sum_charge = 0;
+  double sum_discount = 0;
+  uint64_t count = 0;
+};
+
+uint32_t FindOrAddQ1Group(std::vector<Q1Acc> *groups, std::string_view flag,
+                          std::string_view status) {
+  for (uint32_t g = 0; g < groups->size(); g++) {
+    if ((*groups)[g].returnflag == flag && (*groups)[g].linestatus == status) return g;
+  }
+  Q1Acc acc;
+  acc.returnflag = std::string(flag);
+  acc.linestatus = std::string(status);
+  groups->push_back(std::move(acc));
+  return static_cast<uint32_t>(groups->size() - 1);
+}
+
 }  // namespace
 
 std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
@@ -335,8 +344,8 @@ std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::Transactio
       table, txn, kQ1Projection, stats,
       [&](const storage::ProjectedRow &row) {
         if (workload::Get<uint32_t>(row, p_ship) > params.shipdate_max) return;
-        const uint32_t g = FindOrAddGroup(&partial, workload::GetVarchar(row, p_flag),
-                                          workload::GetVarchar(row, p_status));
+        const uint32_t g = FindOrAddQ1Group(&partial, workload::GetVarchar(row, p_flag),
+                                            workload::GetVarchar(row, p_status));
         Q1Acc *acc = &partial[g];
         const double qty = workload::Get<double>(row, p_qty);
         const double price = workload::Get<double>(row, p_price);
@@ -351,17 +360,37 @@ std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::Transactio
         acc->count++;
       },
       [&] {
-        MergeQ1Partial(&groups, partial);
+        // Merge the block's partial in discovery order — ONE addition per
+        // aggregate per (block, group), the canonical reduction shape.
+        for (const Q1Acc &acc : partial) {
+          Q1Acc *dst = &groups[FindOrAddQ1Group(&groups, acc.returnflag, acc.linestatus)];
+          dst->sum_qty += acc.sum_qty;
+          dst->sum_base_price += acc.sum_base_price;
+          dst->sum_disc_price += acc.sum_disc_price;
+          dst->sum_charge += acc.sum_charge;
+          dst->sum_discount += acc.sum_discount;
+          dst->count += acc.count;
+        }
         partial.clear();
       });
-  return FinalizeQ1(std::move(groups));
+
+  std::vector<Q1Row> rows;
+  rows.reserve(groups.size());
+  for (Q1Acc &acc : groups) {
+    rows.push_back(MakeQ1Row(std::move(acc.returnflag), std::move(acc.linestatus),
+                             acc.sum_qty, acc.sum_base_price, acc.sum_disc_price,
+                             acc.sum_charge, acc.sum_discount, acc.count));
+  }
+  SortQ1Rows(&rows);
+  return rows;
 }
 
 double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
                    const Q6Params &params, ScanStats *stats) {
   const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_ship = 3;
   double revenue = 0;
-  Q6Partial partial;
+  double block_revenue = 0;
+  uint64_t block_selected = 0;
   ScalarScan(
       table, txn, kQ6Projection, stats,
       [&](const storage::ProjectedRow &row) {
@@ -370,36 +399,26 @@ double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *tx
         const double disc = workload::Get<double>(row, p_disc);
         if (disc < params.discount_min || disc > params.discount_max) return;
         if (workload::Get<double>(row, p_qty) >= params.quantity_max) return;
-        partial.selected++;
-        partial.revenue += workload::Get<double>(row, p_price) * disc;
+        block_selected++;
+        block_revenue += workload::Get<double>(row, p_price) * disc;
       },
       [&] {
-        if (partial.selected != 0) revenue += partial.revenue;
-        partial = Q6Partial{};
+        if (block_selected != 0) revenue += block_revenue;
+        block_revenue = 0;
+        block_selected = 0;
       });
   return revenue;
 }
 
-// ---------------------------------------------------------------------------
-// TPC-H Q12 — the first multi-table plan: ORDERS ⋈ LINEITEM on orderkey,
-// grouped by l_shipmode. The hash-join payload is a single bit (order
-// priority is urgent/high), so the probe side aggregates match counts
-// directly; all aggregates are integers and the same per-block-partial
-// merge shape as Q1/Q6 keeps every engine's answer identical at any worker
-// count.
-// ---------------------------------------------------------------------------
-
 namespace {
 
-/// Running counts of one Q12 group (a ship mode) — per-block partial or
-/// merged global accumulator.
+/// Running counts of one scalar-Q12 group (a ship mode).
 struct Q12Acc {
   std::string shipmode;
   uint64_t high = 0;
   uint64_t low = 0;
 };
 
-/// Q12 groups are the (at most two) requested ship modes; linear probe.
 uint32_t FindOrAddQ12Group(std::vector<Q12Acc> *groups, std::string_view mode) {
   for (uint32_t g = 0; g < groups->size(); g++) {
     if ((*groups)[g].shipmode == mode) return g;
@@ -410,178 +429,7 @@ uint32_t FindOrAddQ12Group(std::vector<Q12Acc> *groups, std::string_view mode) {
   return static_cast<uint32_t>(groups->size() - 1);
 }
 
-void MergeQ12Partial(std::vector<Q12Acc> *global, const std::vector<Q12Acc> &partial) {
-  for (const Q12Acc &acc : partial) {
-    Q12Acc *dst = &(*global)[FindOrAddQ12Group(global, acc.shipmode)];
-    dst->high += acc.high;
-    dst->low += acc.low;
-  }
-}
-
-std::vector<Q12Row> FinalizeQ12(std::vector<Q12Acc> groups) {
-  std::vector<Q12Row> rows;
-  rows.reserve(groups.size());
-  for (Q12Acc &acc : groups) {
-    Q12Row row;
-    row.shipmode = std::move(acc.shipmode);
-    row.high_line_count = acc.high;
-    row.low_line_count = acc.low;
-    rows.push_back(std::move(row));
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const Q12Row &a, const Q12Row &b) { return a.shipmode < b.shipmode; });
-  return rows;
-}
-
-bool IsHighPriority(std::string_view priority) {
-  return priority == "1-URGENT" || priority == "2-HIGH";
-}
-
-const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY};
-const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
-                                                      L_RECEIPTDATE, L_SHIPMODE};
-
-/// Batch column indices of the Q12 lineitem projection.
-struct Q12Columns {
-  uint16_t okey, ship, commit, receipt, mode;
-};
-
-Q12Columns ResolveQ12Columns(const std::vector<uint16_t> &projection) {
-  return {ProjectionIndexOf(projection, L_ORDERKEY),
-          ProjectionIndexOf(projection, L_SHIPDATE),
-          ProjectionIndexOf(projection, L_COMMITDATE),
-          ProjectionIndexOf(projection, L_RECEIPTDATE),
-          ProjectionIndexOf(projection, L_SHIPMODE)};
-}
-
-/// Build the ORDERS-side hash table: key o_orderkey, payload 1 for
-/// urgent/high priority orders, 0 otherwise. Dictionary-encoded priority
-/// columns classify each distinct priority once and emit by code.
-JoinHashTable BuildQ12Table(storage::SqlTable *orders, transaction::TransactionContext *txn,
-                            common::WorkerPool *pool, ScanStats *stats) {
-  const uint16_t key_idx = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
-  const uint16_t prio_idx = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
-  return JoinHashTable::Build(
-      orders, txn, kQ12OrdersProjection,
-      [key_idx, prio_idx](const ColumnVectorBatch &batch, std::vector<JoinEntry> *out) {
-        const arrowlite::Array &keys = batch.Column(key_idx);
-        const arrowlite::Array &prio = batch.Column(prio_idx);
-        const int64_t *key_values = keys.buffer(0)->data_as<int64_t>();
-        const auto n = static_cast<uint32_t>(batch.NumRows());
-        out->reserve(n);
-        const bool has_nulls = keys.null_count() != 0 || prio.null_count() != 0;
-        if (prio.type() == arrowlite::Type::kDictionary) {
-          const arrowlite::Array &dict = *prio.dictionary();
-          std::vector<uint64_t> payload_of_code(static_cast<size_t>(dict.length()));
-          for (int64_t c = 0; c < dict.length(); c++) {
-            payload_of_code[static_cast<size_t>(c)] = IsHighPriority(dict.GetString(c)) ? 1 : 0;
-          }
-          const int32_t *codes = prio.buffer(0)->data_as<int32_t>();
-          for (uint32_t row = 0; row < n; row++) {
-            if (has_nulls && (keys.IsNull(row) || prio.IsNull(row))) continue;
-            out->push_back({key_values[row], payload_of_code[static_cast<size_t>(codes[row])]});
-          }
-        } else {
-          for (uint32_t row = 0; row < n; row++) {
-            if (has_nulls && (keys.IsNull(row) || prio.IsNull(row))) continue;
-            out->push_back({key_values[row], IsHighPriority(prio.GetString(row)) ? 1u : 0u});
-          }
-        }
-      },
-      pool, stats);
-}
-
-/// One lineitem batch's (== one block's) Q12 partial: selection-vector
-/// filters, then a probe of the survivors, counting matches into `partial`
-/// (empty on entry) grouped by ship mode.
-void AccumulateQ12Batch(const ColumnVectorBatch &batch, const JoinHashTable &ht,
-                        const Q12Params &params, const Q12Columns &c, SelectionVector *sel,
-                        std::vector<Q12Acc> *partial) {
-  sel->InitFull(static_cast<uint32_t>(batch.NumRows()));
-  vector_ops::FilterRange<uint32_t>(batch.Column(c.receipt), sel, params.receiptdate_min,
-                                    params.receiptdate_max);
-  vector_ops::FilterLessThanColumn<uint32_t>(batch.Column(c.commit), batch.Column(c.receipt),
-                                             sel);
-  vector_ops::FilterLessThanColumn<uint32_t>(batch.Column(c.ship), batch.Column(c.commit),
-                                             sel);
-  vector_ops::FilterStringIn(batch.Column(c.mode), sel,
-                             {params.shipmode_a, params.shipmode_b});
-  if (sel->Empty() || ht.Empty()) return;
-
-  const arrowlite::Array &keys = batch.Column(c.okey);
-  const arrowlite::Array &mode = batch.Column(c.mode);
-  const auto count = [&](uint32_t group, uint64_t payload) {
-    Q12Acc *acc = &(*partial)[group];
-    acc->high += payload;
-    acc->low += 1 - payload;
-  };
-  if (mode.type() == arrowlite::Type::kDictionary) {
-    // Ship-mode grouping by dictionary code: resolve each code to its group
-    // lazily, then count matches without touching strings.
-    std::vector<int32_t> group_of_code(static_cast<size_t>(mode.dictionary()->length()), -1);
-    const int32_t *codes = mode.buffer(0)->data_as<int32_t>();
-    ht.ProbeSelected(keys, *sel, [&](uint32_t row, uint64_t payload) {
-      const auto code = static_cast<size_t>(codes[row]);
-      int32_t g = group_of_code[code];
-      if (UNLIKELY(g < 0)) {
-        g = static_cast<int32_t>(
-            FindOrAddQ12Group(partial, mode.dictionary()->GetString(codes[row])));
-        group_of_code[code] = g;
-      }
-      count(static_cast<uint32_t>(g), payload);
-    });
-  } else {
-    ht.ProbeSelected(keys, *sel, [&](uint32_t row, uint64_t payload) {
-      count(FindOrAddQ12Group(partial, mode.GetString(row)), payload);
-    });
-  }
-}
-
 }  // namespace
-
-std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
-                           transaction::TransactionContext *txn, const Q12Params &params,
-                           ScanStats *stats) {
-  // Build inline (degraded parallel build), probe sequentially.
-  const JoinHashTable ht = BuildQ12Table(orders, txn, nullptr, stats);
-
-  TableScanner scanner(lineitem, txn, kQ12LineitemProjection);
-  const Q12Columns cols = ResolveQ12Columns(scanner.Projection());
-  std::vector<Q12Acc> groups;
-  std::vector<Q12Acc> partial;
-  SelectionVector sel;
-  ColumnVectorBatch batch;
-  while (scanner.Next(&batch)) {
-    partial.clear();
-    AccumulateQ12Batch(batch, ht, params, cols, &sel, &partial);
-    batch.Release();
-    MergeQ12Partial(&groups, partial);
-  }
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return FinalizeQ12(std::move(groups));
-}
-
-std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
-                                   transaction::TransactionContext *txn,
-                                   const Q12Params &params, common::WorkerPool *pool,
-                                   ScanStats *stats) {
-  const JoinHashTable ht = BuildQ12Table(orders, txn, pool, stats);
-
-  ParallelTableScanner scanner(lineitem, txn, kQ12LineitemProjection);
-  const Q12Columns cols = ResolveQ12Columns(scanner.Projection());
-  // One partial slot per block ordinal: workers write disjoint slots, the
-  // merge below reads them in block order — no locks, deterministic result.
-  std::vector<std::vector<Q12Acc>> partials(scanner.NumBlocks());
-  scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
-    SelectionVector sel;
-    AccumulateQ12Batch(*batch, ht, params, cols, &sel, &partials[ordinal]);
-  });
-
-  std::vector<Q12Acc> groups;
-  for (const std::vector<Q12Acc> &partial : partials) MergeQ12Partial(&groups, partial);
-  if (stats != nullptr) stats->Add(scanner.Stats());
-  return FinalizeQ12(std::move(groups));
-}
 
 std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q12Params &params,
@@ -597,7 +445,7 @@ std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *l
       },
       [] {});
 
-  // Probe: row predicates in the same order as the vectorized filters.
+  // Probe: row predicates in the same order as the plan's filters.
   const uint16_t p_lkey = 0, p_ship = 1, p_commit = 2, p_receipt = 3, p_mode = 4;
   std::vector<Q12Acc> groups;
   std::vector<Q12Acc> partial;
@@ -620,10 +468,71 @@ std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *l
         }
       },
       [&] {
-        MergeQ12Partial(&groups, partial);
+        for (const Q12Acc &acc : partial) {
+          Q12Acc *dst = &groups[FindOrAddQ12Group(&groups, acc.shipmode)];
+          dst->high += acc.high;
+          dst->low += acc.low;
+        }
         partial.clear();
       });
-  return FinalizeQ12(std::move(groups));
+
+  std::vector<Q12Row> rows;
+  rows.reserve(groups.size());
+  for (Q12Acc &acc : groups) {
+    Q12Row row;
+    row.shipmode = std::move(acc.shipmode);
+    row.high_line_count = acc.high;
+    row.low_line_count = acc.low;
+    rows.push_back(std::move(row));
+  }
+  SortQ12Rows(&rows);
+  return rows;
+}
+
+double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
+                    transaction::TransactionContext *txn, const Q14Params &params,
+                    ScanStats *stats) {
+  // Build: payload is the "is PROMO part" bit, as in the plan.
+  std::unordered_multimap<int64_t, uint64_t> ht;
+  const uint16_t p_pkey = 0, p_type = 1;
+  ScalarScan(
+      part, txn, kQ14PartProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        ht.emplace(workload::Get<int64_t>(row, p_pkey),
+                   workload::GetVarchar(row, p_type).starts_with(params.promo_prefix) ? 1 : 0);
+      },
+      [] {});
+
+  // Probe: same accumulators, same per-match order as the plan — total
+  // revenue unconditionally, promo revenue gated on the payload bit.
+  const uint16_t p_lkey = 0, p_price = 1, p_disc = 2, p_ship = 3;
+  double total = 0, promo = 0;
+  double block_total = 0, block_promo = 0;
+  uint64_t block_matched = 0;
+  ScalarScan(
+      lineitem, txn, kQ14LineitemProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        const uint32_t ship = workload::Get<uint32_t>(row, p_ship);
+        if (ship < params.shipdate_min || ship >= params.shipdate_max) return;
+        const double disc_price = workload::Get<double>(row, p_price) *
+                                  (1.0 - workload::Get<double>(row, p_disc));
+        const auto [begin, end] = ht.equal_range(workload::Get<int64_t>(row, p_lkey));
+        for (auto it = begin; it != end; ++it) {
+          block_matched++;
+          block_total += disc_price;
+          if (it->second != 0) block_promo += disc_price;
+        }
+      },
+      [&] {
+        if (block_matched != 0) {
+          total += block_total;
+          promo += block_promo;
+        }
+        block_total = 0;
+        block_promo = 0;
+        block_matched = 0;
+      });
+  return FinalizeQ14(total, promo);
 }
 
 }  // namespace mainline::execution::tpch

@@ -11,6 +11,23 @@
 
 namespace mainline::execution::tpch {
 
+/// The TPC-H queries below are compositions over the push-based operator
+/// pipeline API (execution/operators/): each Run* function wires a
+/// PhysicalPlan out of ScanSource / FilterOp / ProjectOp / hash-join /
+/// AggregateOp building blocks and runs it — inline, or morsel-parallel over
+/// a worker pool for the *Parallel variants. There is no per-query kernel
+/// code anymore; the tuple-at-a-time scalar references remain as the
+/// bit-exact oracles the plans are verified against.
+///
+/// All engines share one canonical accumulation order: floating-point
+/// aggregates are built as PER-BLOCK partials — each accumulated
+/// row-at-a-time in slot order from zero — and the partials are folded into
+/// the final result in block (allocation) order. Fixing the reduction-tree
+/// shape at block granularity is what makes every engine's answer
+/// bit-identical regardless of worker count: a parallel scan computes the
+/// same partials on different threads and merges them in the same order.
+/// AggregateOp implements exactly this shape, so every plan inherits it.
+
 /// Parameters of TPC-H Q1 (pricing summary report). Dates are the engine's
 /// day numbers; the default cutoff keeps ~90% of the rows the lineitem
 /// generator produces, mirroring the official query's DATE '1998-12-01' -
@@ -20,7 +37,7 @@ struct Q1Params {
 };
 
 /// One Q1 result group. Defaulted equality makes the bit-exactness check
-/// between the vectorized engine and the scalar reference a plain ==.
+/// between the pipeline engines and the scalar reference a plain ==.
 struct Q1Row {
   std::string returnflag;
   std::string linestatus;
@@ -45,38 +62,26 @@ struct Q6Params {
   double quantity_max = 24.0;    ///< l_quantity <  quantity_max
 };
 
-/// All three engines (scalar reference, vectorized, morsel-parallel) share
-/// one canonical accumulation order: floating-point aggregates are built as
-/// PER-BLOCK partials — each accumulated row-at-a-time in slot order from
-/// zero — and the partials are folded into the final result in block
-/// (allocation) order. Fixing the reduction-tree shape at block granularity
-/// is what makes every engine's answer bit-identical regardless of worker
-/// count: a parallel scan computes the same partials on different threads
-/// and merges them in the same order.
-
-/// Vectorized Q1 over the dual-path scanner: filter with a selection vector,
-/// then hash-free grouped aggregation on (l_returnflag, l_linestatus) —
-/// dictionary-encoded batches aggregate by direct code-pair addressing, never
-/// touching the strings inside the loop. Results are sorted by
+/// Q1 as an operator plan (scan -> filter -> grouped aggregate on
+/// (l_returnflag, l_linestatus)), run inline. Results are sorted by
 /// (returnflag, linestatus), as the query specifies.
 /// \param stats accumulates scan counters (may be nullptr)
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
                          const Q1Params &params, ScanStats *stats = nullptr);
 
-/// Vectorized Q6: three selection-vector filters, then
-/// sum(l_extendedprice * l_discount) over the survivors.
+/// Q6 as an operator plan (scan -> three filters -> ungrouped
+/// sum(l_extendedprice * l_discount)), run inline.
 double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
              const Q6Params &params, ScanStats *stats = nullptr);
 
-/// Morsel-parallel Q1: block-granular morsels over `pool`'s workers, one Q1
-/// partial per block, merged in block order. Bit-exact with RunQ1 and
-/// RunQ1Scalar for any worker count. `txn` must stay read-only while the
-/// scan runs (workers share it).
+/// The same Q1 plan run morsel-parallel over `pool`'s workers. Bit-exact
+/// with RunQ1 and RunQ1Scalar for any worker count. `txn` must stay
+/// read-only while the plan runs (workers share it).
 std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
                                  common::WorkerPool *pool, ScanStats *stats = nullptr);
 
-/// Morsel-parallel Q6; same contract as RunQ1Parallel.
+/// The same Q6 plan run morsel-parallel; same contract as RunQ1Parallel.
 double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
                      const Q6Params &params, common::WorkerPool *pool,
                      ScanStats *stats = nullptr);
@@ -105,21 +110,18 @@ struct Q12Row {
   bool operator==(const Q12Row &) const = default;
 };
 
-/// Vectorized Q12 — the first multi-table plan: hash-join build over ORDERS
-/// (key o_orderkey, payload = "is urgent/high" bit), then a streaming probe
-/// of LINEITEM batches through selection-vector filters (receipt-date window,
-/// commit < receipt, ship < commit, shipmode IN (a, b)) with per-block
-/// partials folded in block order. `orders` and `lineitem` must use
-/// OrdersSchema()/LineItemSchema() column positions.
+/// Q12 as a two-pipeline plan: hash-join build over ORDERS (key o_orderkey,
+/// payload = "is urgent/high" bit), then a probe pipeline streaming LINEITEM
+/// through the date/shipmode filters into a grouped aggregate on l_shipmode.
+/// Run inline. `orders` and `lineitem` must use OrdersSchema()/
+/// LineItemSchema() column positions.
 std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
                            transaction::TransactionContext *txn, const Q12Params &params,
                            ScanStats *stats = nullptr);
 
-/// Morsel-parallel Q12: both the ORDERS build scan and the LINEITEM probe
-/// scan run block-granular morsels over `pool`'s workers; probe partials are
-/// stored per block ordinal and merged in block order. Bit-exact with RunQ12
-/// and RunQ12Scalar for any worker count. `txn` must stay read-only while
-/// the query runs (workers share it).
+/// The same Q12 plan run morsel-parallel (build scan, partition build, and
+/// probe scan all over `pool`). Bit-exact with RunQ12 and RunQ12Scalar for
+/// any worker count. `txn` must stay read-only while the plan runs.
 std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                    transaction::TransactionContext *txn,
                                    const Q12Params &params, common::WorkerPool *pool,
@@ -130,6 +132,43 @@ std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable 
 std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q12Params &params,
                                  ScanStats *stats = nullptr);
+
+/// Parameters of TPC-H Q14 (promotion effect). The official query's window
+/// is one month; the default here is a year of the engine's day numbers so
+/// the query stays meaningfully selective against small PART tables (part
+/// keys above the generated count dangle, shrinking the match rate).
+struct Q14Params {
+  uint32_t shipdate_min = 9000;         ///< l_shipdate >= shipdate_min
+  uint32_t shipdate_max = 9365;         ///< l_shipdate <  shipdate_max
+  std::string promo_prefix = "PROMO";   ///< p_type LIKE '<prefix>%'
+};
+
+/// Q14 as a two-pipeline plan — and the proof the operator API generalizes:
+/// the first FP aggregate over a join, composed purely from existing
+/// operators with no query-specific kernel. Pipeline 1 builds the hash
+/// table over PART (key p_partkey, payload = "is PROMO part" bit);
+/// pipeline 2 streams LINEITEM through the shipdate filter, projects
+/// l_extendedprice * (1 - l_discount) once, probes, and sums the projected
+/// column twice — unconditionally and gated on the payload bit. The result
+/// is 100 * promo_revenue / total_revenue (0 when nothing matched). Run
+/// inline. `lineitem`/`part` must use LineItemSchema()/PartSchema() column
+/// positions.
+double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+              transaction::TransactionContext *txn, const Q14Params &params,
+              ScanStats *stats = nullptr);
+
+/// The same Q14 plan run morsel-parallel. Bit-exact with RunQ14 and
+/// RunQ14Scalar for any worker count. `txn` must stay read-only while the
+/// plan runs.
+double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
+                      transaction::TransactionContext *txn, const Q14Params &params,
+                      common::WorkerPool *pool, ScanStats *stats = nullptr);
+
+/// Scalar tuple-at-a-time Q14 reference, accumulating the same per-block
+/// partials in the same order as the plan.
+double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
+                    transaction::TransactionContext *txn, const Q14Params &params,
+                    ScanStats *stats = nullptr);
 
 /// Scalar tuple-at-a-time Q1 reference: one DataTable::Select per slot, row
 /// predicates in scan order, partials per block — the baseline figure16

@@ -27,7 +27,8 @@ int EncodeText(TypeId type, const byte *value, char *out, size_t out_size) {
   switch (type) {
     case TypeId::kBoolean:
     case TypeId::kTinyInt:
-      return std::snprintf(out, out_size, "%d", static_cast<int>(*reinterpret_cast<const int8_t *>(value)));
+      return std::snprintf(out, out_size, "%d",
+                           static_cast<int>(*reinterpret_cast<const int8_t *>(value)));
     case TypeId::kSmallInt:
       return std::snprintf(out, out_size, "%d",
                            static_cast<int>(*reinterpret_cast<const int16_t *>(value)));

@@ -1,0 +1,86 @@
+#include "workload/tpch/part.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/row_util.h"
+
+namespace mainline::workload::tpch {
+
+using catalog::TypeId;
+
+catalog::Schema PartSchema() {
+  return catalog::Schema({
+      {"p_partkey", TypeId::kBigInt},
+      {"p_name", TypeId::kVarchar},
+      {"p_mfgr", TypeId::kVarchar},
+      {"p_brand", TypeId::kVarchar},
+      {"p_type", TypeId::kVarchar},
+      {"p_size", TypeId::kInteger},
+      {"p_container", TypeId::kVarchar},
+      {"p_retailprice", TypeId::kDecimal},
+      {"p_comment", TypeId::kVarchar},
+  });
+}
+
+storage::SqlTable *GeneratePart(catalog::Catalog *catalog,
+                                transaction::TransactionManager *txn_manager,
+                                uint64_t num_parts, uint64_t seed, uint64_t batch_size,
+                                const char *table_name) {
+  static const char *kTypeClass[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                                     "PROMO"};
+  static const char *kTypeFinish[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                      "BRUSHED"};
+  static const char *kTypeMetal[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  static const char *kContainerSize[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+  static const char *kContainerKind[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                                         "DRUM"};
+  static const char *kNameWords[] = {"almond",    "antique",  "aquamarine", "azure",
+                                     "beige",     "bisque",   "blanched",   "blush",
+                                     "burlywood", "chartreuse", "chiffon",  "coral"};
+
+  storage::SqlTable *table = catalog->GetTable(catalog->CreateTable(table_name, PartSchema()));
+  common::Xorshift rng(seed);
+  const storage::ProjectedRowInitializer initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  transaction::TransactionContext *txn = txn_manager->BeginTransaction();
+  for (uint64_t i = 0; i < num_parts; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    Set<int64_t>(row, P_PARTKEY, static_cast<int64_t>(i + 1));
+    const std::string name = std::string(kNameWords[rng.Uniform(0, 11)]) + " " +
+                             kNameWords[rng.Uniform(0, 11)];
+    SetVarchar(row, P_NAME, name);
+    const uint64_t mfgr = rng.Uniform(1, 5);
+    char mfgr_buf[32];
+    std::snprintf(mfgr_buf, sizeof(mfgr_buf), "Manufacturer#%llu",
+                  static_cast<unsigned long long>(mfgr));
+    SetVarchar(row, P_MFGR, mfgr_buf);
+    char brand_buf[32];
+    std::snprintf(brand_buf, sizeof(brand_buf), "Brand#%llu%llu",
+                  static_cast<unsigned long long>(mfgr),
+                  static_cast<unsigned long long>(rng.Uniform(1, 5)));
+    SetVarchar(row, P_BRAND, brand_buf);
+    const std::string type = std::string(kTypeClass[rng.Uniform(0, 5)]) + " " +
+                             kTypeFinish[rng.Uniform(0, 4)] + " " +
+                             kTypeMetal[rng.Uniform(0, 4)];
+    SetVarchar(row, P_TYPE, type);
+    Set<int32_t>(row, P_SIZE, static_cast<int32_t>(rng.Uniform(1, 50)));
+    const std::string container = std::string(kContainerSize[rng.Uniform(0, 4)]) + " " +
+                                  kContainerKind[rng.Uniform(0, 7)];
+    SetVarchar(row, P_CONTAINER, container);
+    Set<double>(row, P_RETAILPRICE, static_cast<double>(rng.Uniform(90000, 200000)) / 100.0);
+    SetVarchar(row, P_COMMENT, rng.AlphaString(5, 22));
+    table->Insert(txn, *row);
+
+    if (batch_size != 0 && (i + 1) % batch_size == 0) {
+      txn_manager->Commit(txn);
+      txn = txn_manager->BeginTransaction();
+    }
+  }
+  txn_manager->Commit(txn);
+  return table;
+}
+
+}  // namespace mainline::workload::tpch

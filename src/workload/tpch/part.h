@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::workload::tpch {
+
+/// Column positions of the TPC-H PART table.
+enum Part : uint16_t {
+  P_PARTKEY = 0,
+  P_NAME,
+  P_MFGR,
+  P_BRAND,
+  P_TYPE,
+  P_SIZE,
+  P_CONTAINER,
+  P_RETAILPRICE,
+  P_COMMENT,
+};
+
+/// Schema of PART (types mapped onto the engine's type system).
+catalog::Schema PartSchema();
+
+/// Deterministic dbgen-style PART generator, the build side of Q14. Part
+/// keys are the dense sequence 1..`num_parts` — consistent with
+/// GenerateLineItem, whose part keys are uniform over [1, 200000], so a PART
+/// table with `num_parts >= 200000` resolves every lineitem FK (each
+/// l_partkey finds exactly one part) while a smaller one leaves the keys
+/// above `num_parts` dangling. `p_type` is drawn from dbgen's 6 x 5 x 5
+/// syllable grid, so one part in six is a `PROMO%` part. Rows are inserted
+/// in batches of one transaction per `batch_size` rows (0 = everything in a
+/// single transaction); the row contents depend only on `seed`, never on the
+/// batching. `table_name` allows several PART-shaped tables per catalog.
+/// \return the populated table.
+storage::SqlTable *GeneratePart(catalog::Catalog *catalog,
+                                transaction::TransactionManager *txn_manager,
+                                uint64_t num_parts, uint64_t seed = 13,
+                                uint64_t batch_size = 10000, const char *table_name = "part");
+
+}  // namespace mainline::workload::tpch
