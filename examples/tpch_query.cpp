@@ -1,20 +1,24 @@
-// In-situ TPC-H: generate LINEITEM, ORDERS, and PART, answer Q1 and Q6
-// (single table) plus Q12 (hash join ORDERS ⋈ LINEITEM) and Q14 (hash join
-// LINEITEM ⋈ PART, FP promo-revenue ratio) with operator-pipeline plans
-// while the tables are hot, freeze them through the transformation
-// pipeline, and answer them again — now zero-copy straight out of the
-// frozen Arrow blocks. Each round also runs the same plans morsel-parallel
-// across all hardware threads. Every run is checked bit-exactly against the
-// tuple-at-a-time scalar reference (the plans' per-block accumulation makes
-// their results independent of the worker count), so this doubles as an
-// end-to-end smoke test (non-zero exit on any divergence).
+// In-situ TPC-H: generate LINEITEM, ORDERS, PART, and CUSTOMER, answer Q1
+// and Q6 (single table), Q12 (hash join ORDERS ⋈ LINEITEM), Q14 (hash join
+// LINEITEM ⋈ PART, FP promo-revenue ratio), and Q3 (three-way join
+// CUSTOMER ⋈ ORDERS ⋈ LINEITEM with ORDER BY revenue LIMIT 10) with
+// operator-pipeline plans while the tables are hot, freeze them through the
+// transformation pipeline, and answer them again — now zero-copy straight
+// out of the frozen Arrow blocks. Each round also runs the same plans
+// morsel-parallel across all hardware threads. Every run is checked
+// bit-exactly against the tuple-at-a-time scalar reference (the plans'
+// per-block accumulation makes their results independent of the worker
+// count), so this doubles as an end-to-end smoke test (non-zero exit on any
+// divergence).
 //
 //   $ ./build/examples/tpch_query
 //
 // Knobs: MAINLINE_TPCH_ROWS (default 200000), MAINLINE_TPCH_ORDERS (default
-// rows / 3), MAINLINE_TPCH_PARTS (default rows / 3), MAINLINE_TPCH_TXN_ROWS
-// (rows per generator transaction, default 10000), MAINLINE_TPCH_THREADS
-// (parallel-engine workers, default hardware concurrency).
+// rows / 3), MAINLINE_TPCH_PARTS (default rows / 3), MAINLINE_TPCH_CUSTOMERS
+// (default rows / 6; a third of the order custkeys dangle past it),
+// MAINLINE_TPCH_TXN_ROWS (rows per generator transaction, default 10000),
+// MAINLINE_TPCH_THREADS (parallel-engine workers, default hardware
+// concurrency).
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +29,7 @@
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
 #include "transform/transform_pipeline.h"
+#include "workload/tpch/customer.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
 #include "workload/tpch/part.h"
@@ -40,11 +45,11 @@ int64_t EnvInt(const char *name, int64_t def) {
   return value == nullptr ? def : std::atoll(value);
 }
 
-/// Run Q1 + Q6 + Q12 + Q14 on all three engines, print the result rows, and
-/// verify the engines agree bit-exactly.
+/// Run Q1 + Q6 + Q12 + Q14 + Q3 on all three engines, print the result
+/// rows, and verify the engines agree bit-exactly.
 /// \return true if every aggregate matched.
 bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTable *orders,
-                 storage::SqlTable *part, const char *label) {
+                 storage::SqlTable *part, storage::SqlTable *customer, const char *label) {
   const auto q1 = runner->RunQ1(table);
   const auto q1_ref = runner->RunQ1(table, {}, ExecMode::kScalar);
   const auto q1_par = runner->RunQ1(table, {}, ExecMode::kParallel);
@@ -57,6 +62,9 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTabl
   const auto q14 = runner->RunQ14(table, part);
   const auto q14_ref = runner->RunQ14(table, part, {}, ExecMode::kScalar);
   const auto q14_par = runner->RunQ14(table, part, {}, ExecMode::kParallel);
+  const auto q3 = runner->RunQ3(customer, orders, table);
+  const auto q3_ref = runner->RunQ3(customer, orders, table, {}, ExecMode::kScalar);
+  const auto q3_par = runner->RunQ3(customer, orders, table, {}, ExecMode::kParallel);
 
   std::printf("\n-- %s: %llu rows, %llu blocks zero-copy, %llu blocks materialized --\n",
               label, static_cast<unsigned long long>(q1.stats.rows),
@@ -80,12 +88,19 @@ bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTabl
 
   std::printf("Q14 promo revenue = %.4f%%   (hash join LINEITEM x PART)\n",
               q14.promo_revenue);
+  std::printf("Q3  %10s %14s %10s %9s   (CUSTOMER x ORDERS x LINEITEM, top %zu)\n",
+              "orderkey", "revenue", "orderdate", "priority", q3.rows.size());
+  for (const auto &row : q3.rows) {
+    std::printf("    %10lld %14.4f %10u %9d\n", static_cast<long long>(row.orderkey),
+                row.revenue, row.orderdate, row.shippriority);
+  }
 
   const bool ok = q1.rows == q1_ref.rows && q6.revenue == q6_ref.revenue &&
                   q1_par.rows == q1_ref.rows && q6_par.revenue == q6_ref.revenue &&
                   q12.rows == q12_ref.rows && q12_par.rows == q12_ref.rows &&
                   q14.promo_revenue == q14_ref.promo_revenue &&
-                  q14_par.promo_revenue == q14_ref.promo_revenue;
+                  q14_par.promo_revenue == q14_ref.promo_revenue &&
+                  q3.rows == q3_ref.rows && q3_par.rows == q3_ref.rows;
   std::printf("engines agree bit-exactly (vectorized + %u-thread parallel vs scalar): %s\n",
               runner->NumThreads(), ok ? "yes" : "NO — MISMATCH");
   return ok;
@@ -105,22 +120,32 @@ int main() {
       EnvInt("MAINLINE_TPCH_ORDERS", static_cast<int64_t>(rows / 3)));
   const auto num_parts = static_cast<uint64_t>(
       EnvInt("MAINLINE_TPCH_PARTS", static_cast<int64_t>(rows / 3)));
+  const auto num_customers = static_cast<uint64_t>(
+      EnvInt("MAINLINE_TPCH_CUSTOMERS", static_cast<int64_t>(rows / 6)));
   const auto txn_rows = static_cast<uint64_t>(EnvInt("MAINLINE_TPCH_TXN_ROWS", 10000));
-  std::printf("generating LINEITEM (%llu rows) + ORDERS (%llu rows) + PART (%llu rows)...\n",
-              static_cast<unsigned long long>(rows),
-              static_cast<unsigned long long>(num_orders),
-              static_cast<unsigned long long>(num_parts));
+  std::printf(
+      "generating LINEITEM (%llu rows) + ORDERS (%llu rows) + PART (%llu rows) + "
+      "CUSTOMER (%llu rows)...\n",
+      static_cast<unsigned long long>(rows), static_cast<unsigned long long>(num_orders),
+      static_cast<unsigned long long>(num_parts),
+      static_cast<unsigned long long>(num_customers));
   storage::SqlTable *lineitem =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, rows, /*seed=*/7, txn_rows);
+  // A third of the order custkeys point past the customer table, so Q3's
+  // first join edge has dangling FKs to drop, like the test matrix.
   storage::SqlTable *orders =
-      workload::tpch::GenerateOrders(&catalog, &txn_manager, num_orders, /*seed=*/11, txn_rows);
+      workload::tpch::GenerateOrders(&catalog, &txn_manager, num_orders, /*seed=*/11, txn_rows,
+                                     "orders", num_customers + num_customers / 2);
   storage::SqlTable *part =
       workload::tpch::GeneratePart(&catalog, &txn_manager, num_parts, /*seed=*/13, txn_rows);
+  storage::SqlTable *customer = workload::tpch::GenerateCustomer(
+      &catalog, &txn_manager, num_customers, /*seed=*/17, txn_rows);
   gc.FullGC();
 
   QueryRunner runner(&txn_manager,
                      static_cast<uint32_t>(EnvInt("MAINLINE_TPCH_THREADS", 0)));
-  bool ok = RunAndCheck(&runner, lineitem, orders, part, "hot tables (100% materialized)");
+  bool ok = RunAndCheck(&runner, lineitem, orders, part, customer,
+                        "hot tables (100% materialized)");
 
   // The tables go cold; the transformation pipeline freezes them into
   // canonical Arrow, and the same queries now run in situ.
@@ -130,13 +155,16 @@ int main() {
   pipeline.EnqueueTable(&lineitem->UnderlyingTable());
   pipeline.EnqueueTable(&orders->UnderlyingTable());
   pipeline.EnqueueTable(&part->UnderlyingTable());
+  pipeline.EnqueueTable(&customer->UnderlyingTable());
   const uint32_t frozen = pipeline.RunOnce();
   std::printf("\nfroze %u of %zu blocks (all tables)\n", frozen,
               lineitem->UnderlyingTable().NumBlocks() +
                   orders->UnderlyingTable().NumBlocks() +
-                  part->UnderlyingTable().NumBlocks());
+                  part->UnderlyingTable().NumBlocks() +
+                  customer->UnderlyingTable().NumBlocks());
 
-  ok = RunAndCheck(&runner, lineitem, orders, part, "frozen tables (in-situ, zero-copy)") &&
+  ok = RunAndCheck(&runner, lineitem, orders, part, customer,
+                   "frozen tables (in-situ, zero-copy)") &&
        ok;
 
   gc.FullGC();

@@ -19,9 +19,12 @@ struct PayloadSpec {
     kInt64Column,   ///< the value of an int64 column, verbatim
     kStringIn,      ///< 1 if a string column's value is in a literal list, else 0
     kStringPrefix,  ///< 1 if a string column's value starts with a prefix, else 0
+    kF64Computed,   ///< the bits of a computed (projected) double column
   };
 
   Kind kind = Kind::kInt64Column;
+  /// Batch column for the column kinds; ColumnRef::Computed index for
+  /// kF64Computed.
   uint16_t col = 0;
   std::vector<std::string> strings;
 
@@ -32,6 +35,7 @@ struct PayloadSpec {
     return p;
   }
   static PayloadSpec StringIn(uint16_t col, std::vector<std::string> values) {
+    MAINLINE_ASSERT(!values.empty(), "a StringIn payload needs at least one candidate");
     PayloadSpec p;
     p.kind = Kind::kStringIn;
     p.col = col;
@@ -43,9 +47,22 @@ struct PayloadSpec {
     p.kind = Kind::kStringPrefix;
     p.col = col;
     p.strings.push_back(std::move(prefix));
+    MAINLINE_ASSERT(!p.strings.empty(), "a StringPrefix payload needs its prefix");
+    return p;
+  }
+  /// Payload = the bits of a projected double (a ProjectOp output), so a
+  /// probe can recover the exact value with a bit cast — how Q3 ships each
+  /// lineitem's revenue through the join.
+  static PayloadSpec F64Computed(uint16_t computed_index) {
+    PayloadSpec p;
+    p.kind = Kind::kF64Computed;
+    p.col = computed_index;
     return p;
   }
 
+  /// String classification for kStringIn/kStringPrefix. A spec whose string
+  /// list is empty (only constructible by bypassing the factories) matches
+  /// nothing — guarded here because strings.front() would be UB.
   bool Matches(std::string_view value) const;
 };
 
@@ -56,6 +73,11 @@ struct PayloadSpec {
 /// three-step lock-free build as JoinHashTable::Build, so partition contents
 /// and duplicate-match order stay deterministic at any worker count. Rows
 /// with a null key or null payload column are dropped (SQL join semantics).
+///
+/// A build downstream of a probe consumes the chunk's match list instead of
+/// its selection vector — one entry per match, so join multiplicity carries
+/// into the new table (the bushy-plan shape: build a table from an already
+/// joined stream).
 ///
 /// The build pipeline must Run before any pipeline probing this table;
 /// PhysicalPlan runs pipelines in insertion order, which PipelineBuilder
@@ -87,33 +109,45 @@ class HashJoinBuildOp final : public Operator {
   JoinHashTable table_;
 };
 
-/// Probe a HashJoinBuildOp's table with an int64 key column: the selection
-/// is turned into the chunk's match list — (row, payload) per match, rows
-/// repeated for duplicate build keys, in the table's deterministic match
-/// order — and only chunks with at least one match flow on. Null keys match
+/// What a HashJoinProbeOp emits per input (a selected row on the first
+/// probe; a prior match on a chained probe).
+enum class ProbeEmit : uint8_t {
+  /// One JoinMatch per matching build entry, in the table's deterministic
+  /// match order; the consumed match's payload rides along in
+  /// JoinMatch::prior. The default, and the ordinary join shape.
+  kEachMatch = 0,
+  /// One JoinMatch per input whose key matches at all, with payload = the
+  /// bits of the double sum of every matching entry's payload (interpreted
+  /// as doubles, added in the table's deterministic match order — so the sum
+  /// is bit-exact at any worker count). Inputs with no match are dropped.
+  /// This folds a one-to-many join edge into its aggregate in place: Q3 sums
+  /// each order's lineitem revenues during the probe, so the revenue is
+  /// complete the moment the chunk reaches the Top-K sink.
+  kSumPayloadF64,
+};
+
+/// Probe a HashJoinBuildOp's table with an int64 key column. On a chunk's
+/// first probe the selection is turned into the chunk's match list; on a
+/// chunk that was already probed (multi-way joins) the existing match list
+/// is consumed instead, each prior match re-probed by its row's key with the
+/// prior payload carried along — so N-way joins chain N probe operators in
+/// one pipeline. Match order stays deterministic either way: inputs in
+/// selection/prior order, duplicates in the table's insertion order. Only
+/// chunks with at least one resulting match flow on. Null keys match
 /// nothing. The probe is read-only on the shared table, so any number of
 /// workers push concurrently.
 class HashJoinProbeOp final : public Operator {
  public:
-  HashJoinProbeOp(uint16_t key_col, const HashJoinBuildOp *build)
-      : key_col_(key_col), build_(build) {}
+  HashJoinProbeOp(uint16_t key_col, const HashJoinBuildOp *build,
+                  ProbeEmit emit = ProbeEmit::kEachMatch)
+      : key_col_(key_col), build_(build), emit_(emit) {}
 
-  void Push(Chunk *chunk) override {
-    MAINLINE_ASSERT(!chunk->probed, "one probe per pipeline (multi-way joins are future work)");
-    chunk->probed = true;
-    const JoinHashTable &table = build_->Table();
-    if (chunk->sel.Empty() || table.Empty()) return;
-    table.ProbeSelected(chunk->batch->Column(key_col_), chunk->sel,
-                        [chunk](uint32_t row, uint64_t payload) {
-                          chunk->matches.push_back({row, payload});
-                        });
-    if (chunk->matches.empty()) return;
-    PushNext(chunk);
-  }
+  void Push(Chunk *chunk) override;
 
  private:
   uint16_t key_col_;
   const HashJoinBuildOp *build_;
+  ProbeEmit emit_;
 };
 
 }  // namespace mainline::execution::op

@@ -13,10 +13,14 @@ namespace mainline::execution::op {
 
 /// One probe-side match: the batch row that matched and the 8-byte payload
 /// its build-side partner carries. A row appears once per matching build
-/// entry, in the JoinHashTable's deterministic match order.
+/// entry, in the JoinHashTable's deterministic match order. When a chunk is
+/// probed more than once (multi-way joins), each probe consumes the previous
+/// match list and carries the consumed match's payload along in `prior` — so
+/// a CUSTOMER⋈ORDERS match survives the LINEITEM probe that follows it.
 struct JoinMatch {
   uint32_t row;
   uint64_t payload;
+  uint64_t prior = 0;
 };
 
 /// The unit of data flowing down a pipeline: one block's ColumnVectorBatch
@@ -47,15 +51,39 @@ class Chunk {
   std::vector<ComputedColumn> computed;
   size_t num_computed = 0;
 
+  /// Shrink thresholds for Reset: a pooled chunk keeps its containers'
+  /// capacity across blocks, but one pathological block (a skewed join key
+  /// exploding the match list, a plan stacking projections) must not pin
+  /// worst-case buffers for the rest of the run. Capacity at or below the
+  /// threshold is retained — it covers every block of a well-behaved scan
+  /// (block layouts cap out well under 64K slots) — and anything above is
+  /// released on the next Reset.
+  static constexpr size_t kMaxRetainedMatches = size_t{1} << 16;
+  static constexpr size_t kMaxRetainedComputedValues = size_t{1} << 16;
+  static constexpr size_t kMaxRetainedComputedColumns = 8;
+
   /// Rebind to a new block, keeping the containers' capacity — including the
   /// computed columns' value buffers (chunks are pooled across blocks so the
-  /// steady-state per-block cost is an InitFull, not allocations).
+  /// steady-state per-block cost is an InitFull, not allocations) — up to the
+  /// shrink thresholds above.
   void Reset(size_t ordinal, const ColumnVectorBatch *new_batch) {
     block_ordinal = ordinal;
     batch = new_batch;
     sel.InitFull(static_cast<uint32_t>(new_batch->NumRows()));
     probed = false;
-    matches.clear();
+    if (matches.capacity() > kMaxRetainedMatches) {
+      std::vector<JoinMatch>().swap(matches);  // clear() would keep the buffer
+    } else {
+      matches.clear();
+    }
+    if (computed.size() > kMaxRetainedComputedColumns) {
+      computed.resize(kMaxRetainedComputedColumns);
+    }
+    for (ComputedColumn &col : computed) {
+      if (col.values.capacity() > kMaxRetainedComputedValues) {
+        std::vector<double>().swap(col.values);
+      }
+    }
     num_computed = 0;
   }
 

@@ -9,6 +9,7 @@
 #include "execution/operators/hash_join_op.h"
 #include "execution/operators/project_op.h"
 #include "execution/operators/scan_source.h"
+#include "execution/operators/topk_op.h"
 
 namespace mainline::execution::op {
 
@@ -115,13 +116,18 @@ class PipelineBuilder {
     return Current()->Add<HashJoinBuildOp>(key_col, std::move(payload));
   }
 
-  PipelineBuilder &JoinProbe(uint16_t key_col, const HashJoinBuildOp *build) {
-    Current()->Add<HashJoinProbeOp>(key_col, build);
+  PipelineBuilder &JoinProbe(uint16_t key_col, const HashJoinBuildOp *build,
+                             ProbeEmit emit = ProbeEmit::kEachMatch) {
+    Current()->Add<HashJoinProbeOp>(key_col, build, emit);
     return *this;
   }
 
   AggregateOp *Aggregate(std::vector<uint16_t> group_cols, std::vector<AggSpec> aggs) {
     return Current()->Add<AggregateOp>(std::move(group_cols), std::move(aggs));
+  }
+
+  TopKOp *TopK(uint32_t k, std::vector<SortKey> keys, std::vector<OutputCol> outputs) {
+    return Current()->Add<TopKOp>(k, std::move(keys), std::move(outputs));
   }
 
  private:

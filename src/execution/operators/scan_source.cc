@@ -8,6 +8,45 @@
 
 namespace mainline::execution::op {
 
+namespace {
+
+/// RAII check-out of a pooled chunk: acquired from the free list (or
+/// freshly allocated) on construction, and returned — with its batch
+/// pointer dropped — on destruction. Unwinding through a throwing operator
+/// takes the same path as a normal push, so the free list stays intact and
+/// no dangling batch pointer survives the callback that owns the batch.
+class ChunkCheckout {
+ public:
+  ChunkCheckout(common::SpinLatch *latch, std::vector<std::unique_ptr<Chunk>> *free_chunks)
+      : latch_(latch), free_chunks_(free_chunks) {
+    latch_->Lock();
+    if (!free_chunks_->empty()) {
+      chunk_ = std::move(free_chunks_->back());
+      free_chunks_->pop_back();
+    }
+    latch_->Unlock();
+    if (chunk_ == nullptr) chunk_ = std::make_unique<Chunk>();
+  }
+
+  ~ChunkCheckout() {
+    chunk_->batch = nullptr;  // the batch dies with the scan callback
+    latch_->Lock();
+    free_chunks_->push_back(std::move(chunk_));
+    latch_->Unlock();
+  }
+
+  DISALLOW_COPY_AND_MOVE(ChunkCheckout)
+
+  Chunk *Get() { return chunk_.get(); }
+
+ private:
+  common::SpinLatch *latch_;
+  std::vector<std::unique_ptr<Chunk>> *free_chunks_;
+  std::unique_ptr<Chunk> chunk_;
+};
+
+}  // namespace
+
 void ScanSource::Run(transaction::TransactionContext *txn, common::WorkerPool *pool,
                      Operator *root, const std::function<void(size_t)> &prepare,
                      ScanStats *stats) {
@@ -20,20 +59,9 @@ void ScanSource::Run(transaction::TransactionContext *txn, common::WorkerPool *p
   common::SpinLatch latch;
   std::vector<std::unique_ptr<Chunk>> free_chunks;
   scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
-    std::unique_ptr<Chunk> chunk;
-    latch.Lock();
-    if (!free_chunks.empty()) {
-      chunk = std::move(free_chunks.back());
-      free_chunks.pop_back();
-    }
-    latch.Unlock();
-    if (chunk == nullptr) chunk = std::make_unique<Chunk>();
-    chunk->Reset(ordinal, batch);
-    root->Push(chunk.get());
-    chunk->batch = nullptr;  // the batch dies with this callback
-    latch.Lock();
-    free_chunks.push_back(std::move(chunk));
-    latch.Unlock();
+    ChunkCheckout checkout(&latch, &free_chunks);
+    checkout.Get()->Reset(ordinal, batch);
+    root->Push(checkout.Get());
   });
   if (stats != nullptr) stats->Add(scanner.Stats());
 }

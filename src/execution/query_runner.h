@@ -71,6 +71,13 @@ class QueryRunner {
     ScanStats stats;
   };
 
+  /// Q3's stats cover all three scans: the CUSTOMER and LINEITEM builds and
+  /// the ORDERS probe.
+  struct Q3Result {
+    std::vector<tpch::Q3Row> rows;
+    ScanStats stats;
+  };
+
   Q1Result RunQ1(storage::SqlTable *table, const tpch::Q1Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q1Result>(mode, [&](auto *txn, auto *pool, Q1Result *result) {
@@ -106,6 +113,18 @@ class QueryRunner {
           mode == ExecMode::kScalar
               ? tpch::RunQ14Scalar(lineitem, part, txn, params, &result->stats)
               : tpch::RunQ14Parallel(lineitem, part, txn, params, pool, &result->stats);
+    });
+  }
+
+  Q3Result RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
+                 storage::SqlTable *lineitem, const tpch::Q3Params &params = {},
+                 ExecMode mode = ExecMode::kVectorized) {
+    return Execute<Q3Result>(mode, [&](auto *txn, auto *pool, Q3Result *result) {
+      result->rows =
+          mode == ExecMode::kScalar
+              ? tpch::RunQ3Scalar(customer, orders, lineitem, txn, params, &result->stats)
+              : tpch::RunQ3Parallel(customer, orders, lineitem, txn, params, pool,
+                                    &result->stats);
     });
   }
 

@@ -1,11 +1,13 @@
 #include "execution/tpch_queries.h"
 
 #include <algorithm>
+#include <limits>
 #include <string_view>
 #include <unordered_map>
 
 #include "execution/operators/pipeline.h"
 #include "workload/row_util.h"
+#include "workload/tpch/customer.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
 #include "workload/tpch/part.h"
@@ -14,6 +16,8 @@ namespace mainline::execution::tpch {
 
 namespace {
 
+using workload::tpch::C_CUSTKEY;
+using workload::tpch::C_MKTSEGMENT;
 using workload::tpch::L_COMMITDATE;
 using workload::tpch::L_DISCOUNT;
 using workload::tpch::L_EXTENDEDPRICE;
@@ -26,8 +30,11 @@ using workload::tpch::L_RETURNFLAG;
 using workload::tpch::L_SHIPDATE;
 using workload::tpch::L_SHIPMODE;
 using workload::tpch::L_TAX;
+using workload::tpch::O_CUSTKEY;
+using workload::tpch::O_ORDERDATE;
 using workload::tpch::O_ORDERKEY;
 using workload::tpch::O_ORDERPRIORITY;
+using workload::tpch::O_SHIPPRIORITY;
 using workload::tpch::P_PARTKEY;
 using workload::tpch::P_TYPE;
 
@@ -42,6 +49,11 @@ const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_
 const std::vector<uint16_t> kQ14PartProjection = {P_PARTKEY, P_TYPE};
 const std::vector<uint16_t> kQ14LineitemProjection = {L_PARTKEY, L_EXTENDEDPRICE, L_DISCOUNT,
                                                       L_SHIPDATE};
+const std::vector<uint16_t> kQ3CustomerProjection = {C_CUSTKEY, C_MKTSEGMENT};
+const std::vector<uint16_t> kQ3OrdersProjection = {O_ORDERKEY, O_CUSTKEY, O_ORDERDATE,
+                                                   O_SHIPPRIORITY};
+const std::vector<uint16_t> kQ3LineitemProjection = {L_ORDERKEY, L_EXTENDEDPRICE, L_DISCOUNT,
+                                                     L_SHIPDATE};
 
 bool IsHighPriority(std::string_view priority) {
   return priority == "1-URGENT" || priority == "2-HIGH";
@@ -220,6 +232,59 @@ double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
                      agg->Result().front().values[1].f64);
 }
 
+std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *orders,
+                             storage::SqlTable *lineitem,
+                             transaction::TransactionContext *txn, const Q3Params &params,
+                             common::WorkerPool *pool, ScanStats *stats) {
+  const uint16_t ckey = ProjectionIndexOf(kQ3CustomerProjection, C_CUSTKEY);
+  const uint16_t cseg = ProjectionIndexOf(kQ3CustomerProjection, C_MKTSEGMENT);
+  const uint16_t lkey = ProjectionIndexOf(kQ3LineitemProjection, L_ORDERKEY);
+  const uint16_t price = ProjectionIndexOf(kQ3LineitemProjection, L_EXTENDEDPRICE);
+  const uint16_t disc = ProjectionIndexOf(kQ3LineitemProjection, L_DISCOUNT);
+  const uint16_t ship = ProjectionIndexOf(kQ3LineitemProjection, L_SHIPDATE);
+  const uint16_t okey = ProjectionIndexOf(kQ3OrdersProjection, O_ORDERKEY);
+  const uint16_t ocust = ProjectionIndexOf(kQ3OrdersProjection, O_CUSTKEY);
+  const uint16_t odate = ProjectionIndexOf(kQ3OrdersProjection, O_ORDERDATE);
+  const uint16_t oprio = ProjectionIndexOf(kQ3OrdersProjection, O_SHIPPRIORITY);
+
+  op::PhysicalPlan plan;
+  op::PipelineBuilder builder(&plan);
+  builder.Scan(customer, kQ3CustomerProjection)
+      .Filter({op::Predicate::StringIn(cseg, {params.segment})});
+  op::HashJoinBuildOp *cust_build =
+      builder.JoinBuild(ckey, op::PayloadSpec::Int64Column(ckey));
+  builder.Scan(lineitem, kQ3LineitemProjection)
+      .Filter({op::Predicate::U32InRange(ship, params.date + 1,
+                                         std::numeric_limits<uint32_t>::max())})
+      .Project(
+          {op::Expr::Discounted(op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc))});
+  op::HashJoinBuildOp *line_build = builder.JoinBuild(lkey, op::PayloadSpec::F64Computed(0));
+  // The chained probes: each orders row fans out per matching customer, then
+  // the re-probe folds its lineitem revenues into one double per match.
+  builder.Scan(orders, kQ3OrdersProjection)
+      .Filter({op::Predicate::U32InRange(odate, 0, params.date)})
+      .JoinProbe(ocust, cust_build)
+      .JoinProbe(okey, line_build, op::ProbeEmit::kSumPayloadF64);
+  op::TopKOp *topk = builder.TopK(
+      params.limit,
+      {op::SortKey::MatchPayloadF64(/*descending=*/true), op::SortKey::U32Column(odate)},
+      {op::OutputCol::Int64Column(okey), op::OutputCol::MatchPayloadF64(),
+       op::OutputCol::U32Column(odate), op::OutputCol::Int32Column(oprio)});
+  plan.Run(txn, pool, stats);
+
+  std::vector<Q3Row> rows;
+  rows.reserve(topk->Result().size());
+  for (const op::TopKRow &result : topk->Result()) {
+    Q3Row row;
+    row.orderkey = result.cols[0].i64;
+    row.revenue = result.cols[1].f64;
+    row.orderdate = static_cast<uint32_t>(result.cols[2].i64);
+    row.shippriority = static_cast<int32_t>(result.cols[3].i64);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace
 
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
@@ -266,6 +331,19 @@ double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
                       transaction::TransactionContext *txn, const Q14Params &params,
                       common::WorkerPool *pool, ScanStats *stats) {
   return RunQ14Plan(lineitem, part, txn, params, pool, stats);
+}
+
+std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
+                         storage::SqlTable *lineitem, transaction::TransactionContext *txn,
+                         const Q3Params &params, ScanStats *stats) {
+  return RunQ3Plan(customer, orders, lineitem, txn, params, nullptr, stats);
+}
+
+std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
+                                 storage::SqlTable *lineitem,
+                                 transaction::TransactionContext *txn, const Q3Params &params,
+                                 common::WorkerPool *pool, ScanStats *stats) {
+  return RunQ3Plan(customer, orders, lineitem, txn, params, pool, stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -533,6 +611,93 @@ double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
         block_matched = 0;
       });
   return FinalizeQ14(total, promo);
+}
+
+std::vector<Q3Row> RunQ3Scalar(storage::SqlTable *customer, storage::SqlTable *orders,
+                               storage::SqlTable *lineitem,
+                               transaction::TransactionContext *txn, const Q3Params &params,
+                               ScanStats *stats) {
+  // Build 1: how many customers of the segment carry each key — the plan's
+  // per-match fan-out, counted (the matches are indistinguishable, so the
+  // multiplicity is all that survives).
+  std::unordered_map<int64_t, uint64_t> segment_customers;
+  const uint16_t p_ckey = 0, p_cseg = 1;
+  ScalarScan(
+      customer, txn, kQ3CustomerProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        if (workload::GetVarchar(row, p_cseg) != params.segment) return;
+        segment_customers[workload::Get<int64_t>(row, p_ckey)]++;
+      },
+      [] {});
+
+  // Build 2: each order's qualifying revenues, appended in lineitem scan
+  // order — the insertion order the plan's hash table replays, so folding
+  // the vector left-to-right reproduces the probe's sum bit-exactly.
+  std::unordered_map<int64_t, std::vector<double>> revenues;
+  const uint16_t p_lkey = 0, p_price = 1, p_disc = 2, p_ship = 3;
+  ScalarScan(
+      lineitem, txn, kQ3LineitemProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        if (workload::Get<uint32_t>(row, p_ship) <= params.date) return;
+        revenues[workload::Get<int64_t>(row, p_lkey)].push_back(
+            workload::Get<double>(row, p_price) *
+            (1.0 - workload::Get<double>(row, p_disc)));
+      },
+      [] {});
+
+  // Probe: one candidate per (order, matching customer), stamped with its
+  // scan position — (block ordinal, within-block emit sequence) — the same
+  // tie-break the Top-K sink ends its comparison with.
+  struct Candidate {
+    double revenue = 0;
+    uint64_t ordinal = 0;
+    uint64_t seq = 0;
+    Q3Row row;
+  };
+  std::vector<Candidate> candidates;
+  const uint16_t p_okey = 0, p_ocust = 1, p_odate = 2, p_oprio = 3;
+  uint64_t ordinal = 0;
+  uint64_t seq = 0;
+  ScalarScan(
+      orders, txn, kQ3OrdersProjection, stats,
+      [&](const storage::ProjectedRow &row) {
+        const uint32_t orderdate = workload::Get<uint32_t>(row, p_odate);
+        if (orderdate >= params.date) return;
+        const auto customers = segment_customers.find(workload::Get<int64_t>(row, p_ocust));
+        if (customers == segment_customers.end()) return;
+        const auto lines = revenues.find(workload::Get<int64_t>(row, p_okey));
+        if (lines == revenues.end()) return;
+        double revenue = 0;
+        for (const double line : lines->second) revenue += line;
+        Candidate candidate;
+        candidate.revenue = revenue;
+        candidate.ordinal = ordinal;
+        candidate.row.orderkey = workload::Get<int64_t>(row, p_okey);
+        candidate.row.revenue = revenue;
+        candidate.row.orderdate = orderdate;
+        candidate.row.shippriority = workload::Get<int32_t>(row, p_oprio);
+        for (uint64_t i = 0; i < customers->second; i++) {
+          candidate.seq = seq++;
+          candidates.push_back(candidate);
+        }
+      },
+      [&] {
+        ordinal++;
+        seq = 0;
+      });
+
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate &a, const Candidate &b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    if (a.row.orderdate != b.row.orderdate) return a.row.orderdate < b.row.orderdate;
+    if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+    return a.seq < b.seq;
+  });
+  if (candidates.size() > params.limit) candidates.resize(params.limit);
+
+  std::vector<Q3Row> rows;
+  rows.reserve(candidates.size());
+  for (const Candidate &candidate : candidates) rows.push_back(candidate.row);
+  return rows;
 }
 
 }  // namespace mainline::execution::tpch

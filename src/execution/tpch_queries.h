@@ -170,6 +170,63 @@ double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
                     transaction::TransactionContext *txn, const Q14Params &params,
                     ScanStats *stats = nullptr);
 
+/// Parameters of TPC-H Q3 (shipping priority). The date is the engine's day
+/// number, splitting the generators' date ranges roughly down the middle
+/// (orders before it, shipments after it); the segment is one of dbgen's
+/// five market segments, keeping about one customer in five.
+struct Q3Params {
+  std::string segment = "BUILDING";  ///< c_mktsegment = segment
+  uint32_t date = 9500;              ///< o_orderdate < date, l_shipdate > date
+  uint32_t limit = 10;               ///< ORDER BY revenue DESC, o_orderdate LIMIT limit
+};
+
+/// One Q3 result row: an order still open at the cutoff, its pending revenue
+/// summed over the qualifying lineitems. Revenue accumulates in lineitem
+/// scan order (see RunQ3), so equality between engines is bit-exact.
+struct Q3Row {
+  int64_t orderkey = 0;
+  double revenue = 0;
+  uint32_t orderdate = 0;
+  int32_t shippriority = 0;
+
+  bool operator==(const Q3Row &) const = default;
+};
+
+/// Q3 as a three-pipeline plan — the first multi-way join, exercising probe
+/// chaining: pipeline 1 builds a hash table over the segment's customers;
+/// pipeline 2 streams LINEITEM through the shipdate filter, projects each
+/// line's revenue l_extendedprice * (1 - l_discount), and builds a second
+/// table keyed on l_orderkey with the revenue bits as payload; pipeline 3
+/// streams ORDERS through the orderdate filter, probes the customer table
+/// (each match carried forward), re-probes the chunk against the lineitem
+/// table folding every matching line's revenue into one per-order double
+/// (added in the table's deterministic match order), and feeds a Top-K sink
+/// ordered by (revenue DESC, o_orderdate). Ties beyond the sort keys break
+/// on scan position, so the LIMIT boundary is one deterministic answer —
+/// bit-exact against RunQ3Scalar at any worker count, order included. Run
+/// inline. The tables must use CustomerSchema()/OrdersSchema()/
+/// LineItemSchema() column positions.
+std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
+                         storage::SqlTable *lineitem, transaction::TransactionContext *txn,
+                         const Q3Params &params, ScanStats *stats = nullptr);
+
+/// The same Q3 plan run morsel-parallel (all three pipelines over `pool`).
+/// Bit-exact with RunQ3 and RunQ3Scalar for any worker count. `txn` must
+/// stay read-only while the plan runs.
+std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
+                                 storage::SqlTable *lineitem,
+                                 transaction::TransactionContext *txn, const Q3Params &params,
+                                 common::WorkerPool *pool, ScanStats *stats = nullptr);
+
+/// Scalar tuple-at-a-time Q3 reference: hash maps built one Select at a
+/// time, each order's revenue folded over its lineitems in lineitem scan
+/// order, candidates ranked by (revenue DESC, orderdate, scan position) —
+/// the same total order the plan's Top-K sink keeps.
+std::vector<Q3Row> RunQ3Scalar(storage::SqlTable *customer, storage::SqlTable *orders,
+                               storage::SqlTable *lineitem,
+                               transaction::TransactionContext *txn, const Q3Params &params,
+                               ScanStats *stats = nullptr);
+
 /// Scalar tuple-at-a-time Q1 reference: one DataTable::Select per slot, row
 /// predicates in scan order, partials per block — the baseline figure16
 /// compares the other engines against, and the oracle the execution tests

@@ -1,0 +1,63 @@
+#include "workload/tpch/customer.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "workload/row_util.h"
+
+namespace mainline::workload::tpch {
+
+using catalog::TypeId;
+
+catalog::Schema CustomerSchema() {
+  return catalog::Schema({
+      {"c_custkey", TypeId::kBigInt},
+      {"c_name", TypeId::kVarchar},
+      {"c_address", TypeId::kVarchar},
+      {"c_nationkey", TypeId::kInteger},
+      {"c_phone", TypeId::kVarchar},
+      {"c_acctbal", TypeId::kDecimal},
+      {"c_mktsegment", TypeId::kVarchar},
+      {"c_comment", TypeId::kVarchar},
+  });
+}
+
+storage::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
+                                    transaction::TransactionManager *txn_manager,
+                                    uint64_t num_customers, uint64_t seed,
+                                    uint64_t batch_size, const char *table_name) {
+  static const char *kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                                    "HOUSEHOLD"};
+
+  storage::SqlTable *table =
+      catalog->GetTable(catalog->CreateTable(table_name, CustomerSchema()));
+  common::Xorshift rng(seed);
+  const storage::ProjectedRowInitializer initializer = table->FullInitializer();
+  std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
+
+  transaction::TransactionContext *txn = txn_manager->BeginTransaction();
+  for (uint64_t i = 0; i < num_customers; i++) {
+    storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
+    Set<int64_t>(row, C_CUSTKEY, static_cast<int64_t>(i + 1));
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09llu",
+                  static_cast<unsigned long long>(i + 1));
+    SetVarchar(row, C_NAME, name);
+    SetVarchar(row, C_ADDRESS, rng.AlphaString(10, 40));
+    Set<int32_t>(row, C_NATIONKEY, static_cast<int32_t>(rng.Uniform(0, 24)));
+    SetVarchar(row, C_PHONE, rng.NumericString(10, 10));
+    Set<double>(row, C_ACCTBAL, static_cast<double>(rng.Uniform(0, 1099998)) / 100.0 - 999.99);
+    SetVarchar(row, C_MKTSEGMENT, kSegments[rng.Uniform(0, 4)]);
+    SetVarchar(row, C_COMMENT, rng.AlphaString(29, 116));
+    table->Insert(txn, *row);
+
+    if (batch_size != 0 && (i + 1) % batch_size == 0) {
+      txn_manager->Commit(txn);
+      txn = txn_manager->BeginTransaction();
+    }
+  }
+  txn_manager->Commit(txn);
+  return table;
+}
+
+}  // namespace mainline::workload::tpch

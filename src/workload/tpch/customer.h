@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rand_util.h"
+#include "transaction/transaction_manager.h"
+
+namespace mainline::workload::tpch {
+
+/// Column positions of the TPC-H CUSTOMER table.
+enum Customer : uint16_t {
+  C_CUSTKEY = 0,
+  C_NAME,
+  C_ADDRESS,
+  C_NATIONKEY,
+  C_PHONE,
+  C_ACCTBAL,
+  C_MKTSEGMENT,
+  C_COMMENT,
+};
+
+/// Schema of CUSTOMER (types mapped onto the engine's type system).
+catalog::Schema CustomerSchema();
+
+/// Deterministic dbgen-style CUSTOMER generator, the build side of Q3.
+/// Customer keys are the dense sequence 1..`num_customers` — consistent with
+/// GenerateOrders, whose customer keys are uniform over [1, its
+/// num_customers], so generating both with the same customer count resolves
+/// every o_custkey FK while a smaller CUSTOMER table leaves the keys above
+/// `num_customers` dangling. `c_mktsegment` is drawn uniformly from dbgen's
+/// five segments, so a segment filter keeps about one customer in five. Rows
+/// are inserted in batches of one transaction per `batch_size` rows (0 =
+/// everything in a single transaction); the row contents depend only on
+/// `seed`, never on the batching. `table_name` allows several CUSTOMER-shaped
+/// tables per catalog.
+/// \return the populated table.
+storage::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
+                                    transaction::TransactionManager *txn_manager,
+                                    uint64_t num_customers, uint64_t seed = 17,
+                                    uint64_t batch_size = 10000,
+                                    const char *table_name = "customer");
+
+}  // namespace mainline::workload::tpch

@@ -26,7 +26,7 @@ catalog::Schema OrdersSchema() {
 storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
                                   transaction::TransactionManager *txn_manager,
                                   uint64_t num_orders, uint64_t seed, uint64_t batch_size,
-                                  const char *table_name) {
+                                  const char *table_name, uint64_t num_customers) {
   static const char *kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
                                       "5-LOW"};
   static const char *kStatuses[] = {"O", "F", "P"};
@@ -41,7 +41,7 @@ storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
   for (uint64_t i = 0; i < num_orders; i++) {
     storage::ProjectedRow *row = initializer.InitializeRow(buffer.data());
     Set<int64_t>(row, O_ORDERKEY, static_cast<int64_t>(i + 1));
-    Set<int64_t>(row, O_CUSTKEY, static_cast<int64_t>(rng.Uniform(1, 150000)));
+    Set<int64_t>(row, O_CUSTKEY, static_cast<int64_t>(rng.Uniform(1, num_customers)));
     SetVarchar(row, O_ORDERSTATUS, kStatuses[rng.Uniform(0, 2)]);
     Set<double>(row, O_TOTALPRICE, static_cast<double>(rng.Uniform(85000, 55500000)) / 100.0);
     // Order dates cover the same day-number range the lineitem generator

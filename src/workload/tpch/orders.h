@@ -29,15 +29,19 @@ catalog::Schema OrdersSchema();
 /// with GenerateLineItem, whose order keys start at 1 and advance by at most
 /// one per row, so a lineitem table of N rows joins fully against any ORDERS
 /// table with `num_orders >= N` (each l_orderkey finds exactly one order).
-/// Rows are inserted in batches of one transaction per `batch_size` rows
-/// (0 = everything in a single transaction); the row contents depend only on
-/// `seed`, never on the batching. `table_name` allows several ORDERS-shaped
-/// tables per catalog (tests build variants side by side).
+/// Customer keys are uniform over [1, `num_customers`] — the default matches
+/// dbgen's scale-factor-1 customer count, and a GenerateCustomer table built
+/// with the same count resolves every o_custkey FK. Rows are inserted in
+/// batches of one transaction per `batch_size` rows (0 = everything in a
+/// single transaction); the row contents depend only on `seed`, never on the
+/// batching. `table_name` allows several ORDERS-shaped tables per catalog
+/// (tests build variants side by side).
 /// \return the populated table.
 storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
                                   transaction::TransactionManager *txn_manager,
                                   uint64_t num_orders, uint64_t seed = 11,
                                   uint64_t batch_size = 10000,
-                                  const char *table_name = "orders");
+                                  const char *table_name = "orders",
+                                  uint64_t num_customers = 150000);
 
 }  // namespace mainline::workload::tpch

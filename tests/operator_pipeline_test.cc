@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -755,6 +756,156 @@ TEST_P(OperatorPipelineTest, Q14ParallelStaysConsistentUnderConcurrentWritesAndT
   // Both access paths must actually have been exercised across the run.
   EXPECT_GT(aggregate.frozen_blocks, 0u) << "no morsel ever took the zero-copy path";
   EXPECT_GT(aggregate.hot_blocks, 0u) << "no morsel ever took the materialization path";
+  gc_.FullGC();
+}
+
+/// A PayloadSpec whose string list is empty is only constructible by
+/// bypassing the factories (they assert); the Matches guard still must not
+/// dereference strings.front() — it classifies everything as a non-match.
+TEST(PayloadSpecGuards, EmptyStringListMatchesNothing) {
+  op::PayloadSpec hollow_in;
+  hollow_in.kind = op::PayloadSpec::Kind::kStringIn;
+  EXPECT_FALSE(hollow_in.Matches("anything"));
+  EXPECT_FALSE(hollow_in.Matches(""));
+
+  op::PayloadSpec hollow_prefix;
+  hollow_prefix.kind = op::PayloadSpec::Kind::kStringPrefix;
+  EXPECT_FALSE(hollow_prefix.Matches("anything"));
+  EXPECT_FALSE(hollow_prefix.Matches(""));
+
+  // The factories still classify normally.
+  EXPECT_TRUE(op::PayloadSpec::StringIn(0, {"A", "B"}).Matches("B"));
+  EXPECT_FALSE(op::PayloadSpec::StringIn(0, {"A", "B"}).Matches("C"));
+  EXPECT_TRUE(op::PayloadSpec::StringPrefix(0, "PRO").Matches("PROMO X"));
+  EXPECT_FALSE(op::PayloadSpec::StringPrefix(0, "PRO").Matches("PRMO"));
+  // An empty prefix is a valid spec: every string starts with "".
+  EXPECT_TRUE(op::PayloadSpec::StringPrefix(0, "").Matches("anything"));
+}
+
+namespace {
+
+/// Simulates a pathological block — a join-key explosion inflating the match
+/// list, a plan stacking projections — then asserts the next blocks' chunks
+/// came back shrunk to the retention thresholds. An inline run reuses ONE
+/// pooled chunk for every block, so ordinal k observes the Reset after
+/// ordinal k-1's inflation.
+class InflateOp final : public op::Operator {
+ public:
+  void Push(op::Chunk *chunk) override {
+    switch (chunk->block_ordinal) {
+      case 0: {
+        chunk->matches.reserve(op::Chunk::kMaxRetainedMatches * 2);
+        for (int i = 0; i < 12; i++) chunk->AppendComputed();
+        chunk->computed[0].values.reserve(op::Chunk::kMaxRetainedComputedValues * 2);
+        break;
+      }
+      case 1: {
+        // Everything above the thresholds was released by Reset...
+        EXPECT_LE(chunk->matches.capacity(), op::Chunk::kMaxRetainedMatches);
+        EXPECT_LE(chunk->computed.size(), op::Chunk::kMaxRetainedComputedColumns);
+        EXPECT_LE(chunk->computed[0].values.capacity(),
+                  op::Chunk::kMaxRetainedComputedValues);
+        EXPECT_EQ(chunk->num_computed, 0u);
+        chunk->matches.reserve(kModestCapacity);
+        break;
+      }
+      default: {
+        // ...while a well-behaved block's capacity is retained across Resets.
+        EXPECT_GE(chunk->matches.capacity(), kModestCapacity);
+        EXPECT_LE(chunk->matches.capacity(), op::Chunk::kMaxRetainedMatches);
+        break;
+      }
+    }
+    blocks_seen_++;
+  }
+
+  static constexpr size_t kModestCapacity = 1000;
+  size_t blocks_seen_ = 0;
+};
+
+/// Throws on the first chunk, counts the rest.
+class ThrowOnceOp final : public op::Operator {
+ public:
+  void Push(op::Chunk *chunk) override {
+    if (!thrown_) {
+      thrown_ = true;
+      throw std::runtime_error("injected operator failure");
+    }
+    rows_ += chunk->sel.Size();
+  }
+
+  bool thrown_ = false;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace
+
+/// The chunk pool's shrink policy: one block inflating the match list or the
+/// computed-column stack beyond Chunk's retention thresholds must not pin
+/// that capacity for the rest of the run (see InflateOp above).
+TEST_P(OperatorPipelineTest, ChunkPoolShrinksPathologicalCapacity) {
+  const catalog::Schema schema(
+      {{"id", catalog::TypeId::kBigInt}, {"fk", catalog::TypeId::kBigInt}});
+  storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable("shrink", schema));
+  const auto init = table->FullInitializer();
+  std::vector<byte> buffer(init.ProjectedRowSize() + 8);
+  auto *txn = txn_manager_.BeginTransaction();
+  int64_t next_id = 0;
+  while (table->UnderlyingTable().NumBlocks() < 4) {
+    ProjectedRow *row = init.InitializeRow(buffer.data());
+    workload::Set<int64_t>(row, 0, next_id);
+    workload::Set<int64_t>(row, 1, next_id % 7);
+    table->Insert(txn, *row);
+    next_id++;
+  }
+  txn_manager_.Commit(txn);
+  gc_.FullGC();
+
+  txn = txn_manager_.BeginTransaction();
+  op::PhysicalPlan plan;
+  op::Pipeline *pipe = plan.AddPipeline(table, {0, 1});
+  InflateOp *inflate = pipe->Add<InflateOp>();
+  plan.Run(txn, nullptr, nullptr);  // inline: one pooled chunk, blocks in order
+  txn_manager_.Commit(txn);
+  EXPECT_GE(inflate->blocks_seen_, 4u);
+  gc_.FullGC();
+}
+
+/// An operator throwing mid-scan must unwind cleanly through the scan
+/// source's chunk checkout (the chunk returns to the pool with its batch
+/// pointer dropped), and the table must stay fully scannable afterward.
+TEST_P(OperatorPipelineTest, ScanSurvivesThrowingOperator) {
+  constexpr uint64_t kRows = 2000;
+  storage::SqlTable *table = MakeMicroTable("throwing", kRows);
+
+  const auto check = [&](const char *label) {
+    auto *txn = txn_manager_.BeginTransaction();
+    op::PhysicalPlan plan;
+    op::Pipeline *pipe = plan.AddPipeline(table, {0, 1});
+    ThrowOnceOp *thrower = pipe->Add<ThrowOnceOp>();
+    bool caught = false;
+    try {
+      plan.Run(txn, nullptr, nullptr);
+    } catch (const std::runtime_error &) {
+      caught = true;
+    }
+    txn_manager_.Commit(txn);
+    EXPECT_TRUE(caught) << label << ": the injected failure should propagate";
+    EXPECT_TRUE(thrower->thrown_) << label;
+
+    // The same table scans to completion afterward — nothing was torn.
+    txn = txn_manager_.BeginTransaction();
+    op::PhysicalPlan retry;
+    op::Pipeline *retry_pipe = retry.AddPipeline(table, {0, 1});
+    CollectOp *collect = retry_pipe->Add<CollectOp>(0);
+    retry.Run(txn, nullptr, nullptr);
+    txn_manager_.Commit(txn);
+    EXPECT_EQ(collect->All().size(), kRows) << label;
+  };
+
+  check("hot");
+  Freeze(table);
+  check("frozen");
   gc_.FullGC();
 }
 
