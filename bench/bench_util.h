@@ -6,7 +6,6 @@
 // documents every binary and its knobs; scripts/run_benches.sh builds
 // Release and captures all reports as BENCH_<figure>.json.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,6 +13,7 @@
 
 #include "catalog/catalog.h"
 #include "common/rand_util.h"
+#include "common/timer.h"
 #include "gc/garbage_collector.h"
 #include "transform/block_transformer.h"
 #include "workload/row_util.h"
@@ -24,6 +24,12 @@ namespace mainline::bench {
 inline int64_t EnvInt(const char *name, int64_t def) {
   const char *value = std::getenv(name);
   return value == nullptr ? def : std::atoll(value);
+}
+
+/// Read a floating-point knob from the environment, with a default.
+inline double EnvDouble(const char *name, double def) {
+  const char *value = std::getenv(name);
+  return value == nullptr ? def : std::atof(value);
 }
 
 /// A self-contained engine instance (no logging) for benchmarks.
@@ -99,13 +105,13 @@ inline void PopulateMicroTable(Engine *engine, storage::SqlTable *table, uint32_
   engine->gc.FullGC();
 }
 
-/// Wall-clock seconds of `fn`.
+/// Wall-clock seconds of `fn`, on the engine's one timing clock
+/// (common::Timer, steady_clock).
 template <typename F>
 double TimeSeconds(F &&fn) {
-  const auto start = std::chrono::steady_clock::now();
+  const common::Timer timer;
   fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
+  return timer.ElapsedSeconds();
 }
 
 /// Best-of-`reps` throughput of `run` in million rows per second, where

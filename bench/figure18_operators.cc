@@ -24,6 +24,7 @@
 #include "execution/query_runner.h"
 #include "execution/table_scanner.h"
 #include "execution/vector_ops.h"
+#include "metrics/metrics_registry.h"
 #include "transform/block_transformer.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
@@ -329,6 +330,40 @@ int main() {
     const double p12 = MRowsPerSecond(
         rows, reps, [&] { runner.RunQ12(orders, lineitem, {}, ExecMode::kParallel); });
     std::printf("%-8u %10.1f %10.1f\n", threads, p6, p12);
+  }
+
+  // Profiling overhead gate: EXPLAIN ANALYZE must stay near-free. Q6 inline
+  // (the thinnest per-chunk path, so the worst case for per-operator timer
+  // reads), unprofiled vs profiled, best-of at least 3 reps to damp noise.
+  // The ratio bar is a knob because CI machines are noisy.
+  {
+    const double max_overhead = EnvDouble("MAINLINE_F18_PROFILE_MAX_OVERHEAD", 1.05);
+    const int64_t gate_reps = std::max<int64_t>(reps, 3);
+    runner.SetProfiling(false);
+    const double plain = MRowsPerSecond(rows, gate_reps, [&] { runner.RunQ6(lineitem); });
+    runner.SetProfiling(true);
+    const double profiled = MRowsPerSecond(rows, gate_reps, [&] { runner.RunQ6(lineitem); });
+    const double overhead = plain / profiled;
+    std::printf("\n== Figure 18 profiling overhead: Q6 inline (M rows/s, best of %" PRId64
+                ") ==\n%10s %10s %10s\n%10.1f %10.1f %9.3fx\n",
+                gate_reps, "plain", "profiled", "overhead", plain, profiled, overhead);
+    std::printf("profiling overhead %.3fx (bar %.2fx): %s\n", overhead, max_overhead,
+                overhead <= max_overhead ? "ok" : "EXCEEDED");
+    if (overhead > max_overhead) all_match = false;
+  }
+
+  // Machine-readable tail line: the engine-wide metrics snapshot plus the
+  // last profiled Q6/Q12 plans, for run_benches.sh to fold into BENCH_*.json
+  // (and scripts/validate_metrics_json.py to gate in CI).
+  {
+    runner.SetProfiling(true);
+    runner.RunQ6(lineitem);
+    const std::string q6_profile = runner.LastProfile().ToJson();
+    runner.RunQ12(orders, lineitem);
+    const std::string q12_profile = runner.LastProfile().ToJson();
+    std::printf("METRICS_JSON {\"engine\":%s,\"profiles\":{\"q6\":%s,\"q12\":%s}}\n",
+                metrics::MetricsRegistry::Global().Snapshot().ToJson().c_str(),
+                q6_profile.c_str(), q12_profile.c_str());
   }
   return all_match ? 0 : 1;
 }

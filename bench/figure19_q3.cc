@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "execution/query_runner.h"
+#include "metrics/metrics_registry.h"
 #include "transform/block_transformer.h"
 #include "workload/tpch/customer.h"
 #include "workload/tpch/lineitem.h"
@@ -124,6 +125,17 @@ int main() {
       runner.RunQ3(customer, orders, lineitem, {}, ExecMode::kParallel);
     });
     std::printf("%-8u %10.1f\n", threads, p);
+  }
+
+  // Machine-readable tail line: the engine-wide metrics snapshot plus the
+  // profiled Q3 three-pipeline plan, for run_benches.sh to fold into
+  // BENCH_*.json (and scripts/validate_metrics_json.py to gate in CI).
+  {
+    runner.SetProfiling(true);
+    runner.RunQ3(customer, orders, lineitem);
+    std::printf("METRICS_JSON {\"engine\":%s,\"profiles\":{\"q3\":%s}}\n",
+                metrics::MetricsRegistry::Global().Snapshot().ToJson().c_str(),
+                runner.LastProfile().ToJson().c_str());
   }
   return all_match ? 0 : 1;
 }

@@ -42,6 +42,17 @@ for bench in "${BUILD_DIR}"/bench/figure*; do
   BENCH_START="${start}" BENCH_END="${end}" \
   python3 -c '
 import json, os, sys
+lines = sys.stdin.read().splitlines()
+# Benches that report metrics print one machine-readable tail line:
+#   METRICS_JSON {"engine": <registry snapshot>, "profiles": {...}}
+# Lift it out of the text transcript into a structured field.
+metrics = None
+for line in lines:
+    if line.startswith("METRICS_JSON "):
+        try:
+            metrics = json.loads(line[len("METRICS_JSON "):])
+        except ValueError:
+            pass
 with open(sys.argv[1], "w") as f:
     json.dump(
         {
@@ -50,7 +61,8 @@ with open(sys.argv[1], "w") as f:
             "elapsed_seconds": round(
                 float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3
             ),
-            "output": sys.stdin.read().splitlines(),
+            "metrics": metrics,
+            "output": [l for l in lines if not l.startswith("METRICS_JSON ")],
         },
         f,
         indent=2,

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace mainline::common {
+
+/// The one wall-clock the engine times with: std::chrono::steady_clock,
+/// which is monotonic — never adjusted backwards by NTP or a suspend/resume
+/// cycle, unlike high_resolution_clock (an alias for system_clock on some
+/// standard libraries). The metrics layer, the plan profiler, the export
+/// protocols, and the bench binaries all measure through this header, so
+/// every reported duration is comparable.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Start (or restart) timing now.
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  static TimePoint Now() { return Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in the requested unit.
+  template <typename Unit = std::chrono::microseconds>
+  uint64_t Elapsed() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<Unit>(Clock::now() - start_).count());
+  }
+
+  /// Elapsed time as floating-point seconds (the bench reporting unit).
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+/// Measures wall-clock time of a scope and writes the elapsed duration (in
+/// the template unit, default microseconds) to the output pointer on
+/// destruction.
+template <typename Unit = std::chrono::microseconds>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t *elapsed) : elapsed_(elapsed) {}
+
+  DISALLOW_COPY_AND_MOVE(ScopedTimer)
+
+  ~ScopedTimer() { *elapsed_ = timer_.Elapsed<Unit>(); }
+
+ private:
+  Timer timer_;
+  uint64_t *elapsed_;
+};
+
+}  // namespace mainline::common

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/timer.h"
+#include "metrics/engine_metrics.h"
 
 namespace mainline::common {
 
@@ -35,7 +37,7 @@ class WorkerPool {
     {
       std::lock_guard lock(mutex_);
       if (shutdown_) return false;
-      tasks_.push(std::move(task));
+      tasks_.push(Task{Timer(), std::move(task)});
       outstanding_++;
     }
     task_cv_.notify_one();
@@ -65,7 +67,7 @@ class WorkerPool {
  private:
   void WorkerLoop() {
     while (true) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock lock(mutex_);
         task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -76,7 +78,12 @@ class WorkerPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      {
+        metrics::PoolMetrics &pool_metrics = metrics::Pool();
+        pool_metrics.queue_wait_us->Observe(task.enqueued.Elapsed<>());
+        pool_metrics.tasks_run->Add(1);
+      }
+      task.fn();
       {
         // Notify while still holding the mutex: a waiter between its
         // predicate check and its sleep also holds it, so the decrement and
@@ -88,8 +95,15 @@ class WorkerPool {
     }
   }
 
+  /// A queued task remembers when it was submitted so the worker that
+  /// dequeues it can report the submit → start latency (pool.queue_wait_us).
+  struct Task {
+    Timer enqueued;
+    std::function<void()> fn;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_cv_;
   std::condition_variable done_cv_;

@@ -101,6 +101,8 @@ class AggregateOp final : public Operator {
 
   void Push(Chunk *chunk) override;
 
+  std::string Label() const override { return "Aggregate"; }
+
   void Finish(common::WorkerPool *pool) override;
 
   /// Final rows; valid once the plan has Run.

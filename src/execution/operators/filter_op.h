@@ -89,6 +89,8 @@ class FilterOp final : public Operator {
 
   void Push(Chunk *chunk) override;
 
+  std::string Label() const override { return "Filter"; }
+
  private:
   std::vector<Predicate> predicates_;
   /// Views into predicates_[i].strings, prebuilt for vector_ops::FilterStringIn.

@@ -94,6 +94,8 @@ class HashJoinBuildOp final : public Operator {
 
   void Push(Chunk *chunk) override;
 
+  std::string Label() const override { return "HashJoinBuild"; }
+
   void Finish(common::WorkerPool *pool) override {
     table_ = JoinHashTable::FromOrdinalLists(per_block_, pool);
     per_block_.clear();
@@ -143,6 +145,8 @@ class HashJoinProbeOp final : public Operator {
       : key_col_(key_col), build_(build), emit_(emit) {}
 
   void Push(Chunk *chunk) override;
+
+  std::string Label() const override { return "HashJoinProbe"; }
 
  private:
   uint16_t key_col_;

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/selection_vector.h"
+#include "common/timer.h"
 #include "common/worker_pool.h"
 #include "execution/column_vector_batch.h"
 #include "execution/operators/expr.h"
+#include "execution/operators/plan_profile.h"
 
 namespace mainline::execution::op {
 
@@ -123,16 +127,41 @@ class Operator {
   /// be nullptr) for operators whose finish phase parallelizes.
   virtual void Finish(common::WorkerPool *pool) { (void)pool; }
 
+  /// Display name in EXPLAIN output.
+  virtual std::string Label() const { return "Operator"; }
+
   void SetNext(Operator *next) { next_ = next; }
+
+  /// Attach this run's profiling recorder (nullptr detaches). Set on the
+  /// driving thread before the scan starts.
+  void SetProfiler(OperatorProfiler *profiler) { profiler_ = profiler; }
+
+  /// The entry point pipelines (and PushNext) use to hand a chunk to this
+  /// operator. Unprofiled this is exactly Push — one null-pointer test on
+  /// the hot path; profiled it also records rows-in under this chunk's block
+  /// ordinal and the call's inclusive wall time. Profiling never touches the
+  /// chunk, so operator output is bit-identical either way.
+  void Consume(Chunk *chunk) {
+    if (profiler_ == nullptr) {
+      Push(chunk);
+      return;
+    }
+    profiler_->RecordRows(chunk->block_ordinal,
+                          chunk->probed ? chunk->matches.size() : chunk->sel.Size());
+    const common::Timer timer;
+    Push(chunk);
+    profiler_->RecordElapsed(timer.Elapsed<std::chrono::nanoseconds>());
+  }
 
  protected:
   /// Hand the chunk to the next operator, if any — the tail of every
   /// non-sink Push.
   void PushNext(Chunk *chunk) {
-    if (next_ != nullptr) next_->Push(chunk);
+    if (next_ != nullptr) next_->Consume(chunk);
   }
 
   Operator *next_ = nullptr;
+  OperatorProfiler *profiler_ = nullptr;
 };
 
 /// Bind an Expr's column references against one chunk: raw value pointers

@@ -38,20 +38,65 @@ class Pipeline {
 
   /// Run to completion: Prepare every operator, stream the scan, then Finish
   /// in chain order. Inline when `pool` is null, morsel-parallel otherwise.
-  void Run(transaction::TransactionContext *txn, common::WorkerPool *pool, ScanStats *stats) {
+  /// When `profile` is non-null the run is profiled into it: per-operator
+  /// rows/chunks/time recorders are attached for this run only (detached —
+  /// back to a single null check per chunk — when `profile` is null).
+  void Run(transaction::TransactionContext *txn, common::WorkerPool *pool, ScanStats *stats,
+           PipelineProfile *profile = nullptr) {
     MAINLINE_ASSERT(!ops_.empty(), "a pipeline needs at least one operator");
+    if (profile != nullptr && profilers_.size() != ops_.size()) {
+      profilers_.clear();
+      for (size_t i = 0; i < ops_.size(); i++) {
+        profilers_.push_back(std::make_unique<OperatorProfiler>());
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); i++) {
+      ops_[i]->SetProfiler(profile == nullptr ? nullptr : profilers_[i].get());
+    }
+
+    const common::Timer wall_timer;
     source_.Run(
         txn, pool, ops_.front().get(),
-        [this](size_t num_blocks) {
+        [this, profile](size_t num_blocks) {
           for (const auto &op : ops_) op->Prepare(num_blocks);
+          if (profile != nullptr) {
+            for (const auto &profiler : profilers_) profiler->Prepare(num_blocks);
+          }
         },
-        stats);
+        stats, profile);
+    const common::Timer finish_timer;
     for (const auto &op : ops_) op->Finish(pool);
+
+    if (profile != nullptr) {
+      profile->finish_ns = finish_timer.Elapsed<std::chrono::nanoseconds>();
+      profile->wall_ns = wall_timer.Elapsed<std::chrono::nanoseconds>();
+      profile->operators.clear();
+      for (size_t i = 0; i < ops_.size(); i++) {
+        OperatorProfile record;
+        record.label = ops_[i]->Label();
+        record.rows_in = profilers_[i]->TotalRows();
+        // An operator's output is exactly what the next operator saw; the
+        // chain's last operator is a sink.
+        record.rows_out = i + 1 < ops_.size() ? profilers_[i + 1]->TotalRows() : 0;
+        record.chunks = profilers_[i]->TotalChunks();
+        record.inclusive_ns = profilers_[i]->TotalElapsedNs();
+        const uint64_t next_ns =
+            i + 1 < ops_.size() ? profilers_[i + 1]->TotalElapsedNs() : 0;
+        // Saturate: clock granularity can make a nested measurement read a
+        // hair longer than its enclosing one.
+        record.exclusive_ns =
+            record.inclusive_ns > next_ns ? record.inclusive_ns - next_ns : 0;
+        profile->operators.push_back(std::move(record));
+      }
+    }
   }
 
  private:
   ScanSource source_;
   std::vector<std::unique_ptr<Operator>> ops_;
+  /// One recorder per operator, created on the first profiled Run and reused
+  /// (Prepare resets them) — unprofiled runs never allocate these.
+  std::vector<std::unique_ptr<OperatorProfiler>> profilers_;
 };
 
 /// A query as data: pipelines executed in insertion order (so a hash-join
@@ -72,14 +117,39 @@ class PhysicalPlan {
 
   /// Execute every pipeline in order. `txn` must stay read-only while the
   /// plan runs; a null (or zero-worker) pool degrades every pipeline to an
-  /// inline scan. `stats` accumulates all pipelines' scan counters.
+  /// inline scan. `stats` accumulates all pipelines' scan counters. With
+  /// profiling on (SetProfiling), the run also records a PlanProfile —
+  /// results are bit-identical either way.
   void Run(transaction::TransactionContext *txn, common::WorkerPool *pool = nullptr,
            ScanStats *stats = nullptr) {
-    for (const auto &pipeline : pipelines_) pipeline->Run(txn, pool, stats);
+    if (!profiling_) {
+      for (const auto &pipeline : pipelines_) pipeline->Run(txn, pool, stats);
+      return;
+    }
+    profile_.pipelines.clear();
+    profile_.pipelines.reserve(pipelines_.size());
+    for (const auto &pipeline : pipelines_) {
+      pipeline->Run(txn, pool, stats, &profile_.pipelines.emplace_back());
+    }
   }
+
+  /// Toggle per-operator profiling for subsequent Runs (default off).
+  void SetProfiling(bool on) { profiling_ = on; }
+  bool Profiling() const { return profiling_; }
+
+  /// The last profiled Run's record (empty if none yet).
+  const PlanProfile &Profile() const { return profile_; }
+
+  /// EXPLAIN ANALYZE rendering of the last profiled Run.
+  std::string Explain() const { return profile_.ToString(); }
+
+  /// Machine-readable form of the last profiled Run.
+  std::string ProfileJson() const { return profile_.ToJson(); }
 
  private:
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  bool profiling_ = false;
+  PlanProfile profile_;
 };
 
 /// Fluent sugar for wiring a PhysicalPlan: Scan starts a pipeline, the

@@ -24,6 +24,8 @@ class ProjectOp final : public Operator {
 
   void Push(Chunk *chunk) override;
 
+  std::string Label() const override { return "Project"; }
+
  private:
   std::vector<Expr> exprs_;
 };

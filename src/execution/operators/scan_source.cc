@@ -49,7 +49,7 @@ class ChunkCheckout {
 
 void ScanSource::Run(transaction::TransactionContext *txn, common::WorkerPool *pool,
                      Operator *root, const std::function<void(size_t)> &prepare,
-                     ScanStats *stats) {
+                     ScanStats *stats, PipelineProfile *profile) {
   ParallelTableScanner scanner(table_, txn, projection_);
   prepare(scanner.NumBlocks());
 
@@ -61,9 +61,14 @@ void ScanSource::Run(transaction::TransactionContext *txn, common::WorkerPool *p
   scanner.Scan(pool, [&](size_t ordinal, ColumnVectorBatch *batch) {
     ChunkCheckout checkout(&latch, &free_chunks);
     checkout.Get()->Reset(ordinal, batch);
-    root->Push(checkout.Get());
+    root->Consume(checkout.Get());
   });
   if (stats != nullptr) stats->Add(scanner.Stats());
+  if (profile != nullptr) {
+    profile->source = "table#" + std::to_string(table_->Oid().UnderlyingValue());
+    profile->num_blocks = scanner.NumBlocks();
+    profile->scan = scanner.Stats();
+  }
 }
 
 }  // namespace mainline::execution::op

@@ -45,9 +45,11 @@ class ScanSource {
   /// non-empty block is pushed into `root` (worker threads when `pool` has
   /// workers; the calling thread otherwise). `txn` must stay read-only for
   /// the duration (workers share it). Scan counters accumulate into `stats`
-  /// (may be nullptr).
+  /// (may be nullptr). When `profile` is non-null its source, block count,
+  /// and this run's scan stats (alone, not accumulated) are filled in.
   void Run(transaction::TransactionContext *txn, common::WorkerPool *pool, Operator *root,
-           const std::function<void(size_t num_blocks)> &prepare, ScanStats *stats);
+           const std::function<void(size_t num_blocks)> &prepare, ScanStats *stats,
+           PipelineProfile *profile = nullptr);
 
  private:
   storage::SqlTable *table_;

@@ -115,6 +115,8 @@ class TopKOp final : public Operator {
 
   void Push(Chunk *chunk) override;
 
+  std::string Label() const override { return "TopK"; }
+
   void Finish(common::WorkerPool *pool) override;
 
   /// Final rows, best first; valid once the plan has Run.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "metrics/engine_metrics.h"
+
 namespace mainline::execution {
 
 ParallelTableScanner::ParallelTableScanner(storage::SqlTable *table,
@@ -44,20 +46,30 @@ void ParallelTableScanner::Scan(common::WorkerPool *pool, const ConsumeFn &consu
     pool->WaitUntilAllFinished();
   }
 
-  for (const ScanStats &s : worker_stats_) stats_.Add(s);
+  metrics::ScanMetrics &scan_metrics = metrics::Scan();
+  scan_metrics.morsel_scans->Add(1);
+  scan_metrics.rows->Add(stats_.rows);
+  scan_metrics.frozen_blocks->Add(stats_.frozen_blocks);
+  scan_metrics.hot_blocks->Add(stats_.hot_blocks);
 }
 
 void ParallelTableScanner::WorkerLoop(size_t worker_index, const ConsumeFn &consume) {
-  ScanStats &stats = worker_stats_[worker_index];
+  // Accumulate locally and fold into both views at loop exit: the worker's
+  // contribution lands in the merged total on *every* path out of this loop,
+  // rather than relying on a post-wait sweep on the driving thread.
+  ScanStats stats;
   ColumnVectorBatch batch;
   while (true) {
     const size_t ordinal = cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (ordinal >= blocks_.size()) return;
+    if (ordinal >= blocks_.size()) break;
     if (TableScanner::ScanBlock(table_, txn_, projection_, blocks_[ordinal], &batch, &stats)) {
       consume(ordinal, &batch);
       batch.Release();
     }
   }
+  common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+  worker_stats_[worker_index].Add(stats);
+  stats_.Add(stats);
 }
 
 }  // namespace mainline::execution

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/spin_latch.h"
 #include "common/worker_pool.h"
 #include "execution/column_vector_batch.h"
 #include "execution/table_scanner.h"
@@ -28,8 +29,11 @@ namespace mainline::execution {
 /// order afterwards, making the result independent of the worker count and
 /// bit-identical to a sequential scan.
 ///
-/// Scan statistics are kept per worker (no shared cache line bounces) and
-/// merged once the scan completes.
+/// Scan statistics are accumulated per worker (no shared cache line bounces
+/// during the scan) and each worker folds its partial into the merged total
+/// as its loop exits — so the total is complete the moment the last loop
+/// returns, no matter how that loop was driven (pool task, inline fallback
+/// after a rejected submit, or the no-pool degrade path).
 class ParallelTableScanner {
  public:
   /// Called once per non-empty block, from a worker thread. The batch is
@@ -82,6 +86,8 @@ class ParallelTableScanner {
   std::vector<storage::RawBlock *> blocks_;
   std::atomic<size_t> cursor_{0};
   std::vector<ScanStats> worker_stats_;
+  /// Guards the exiting workers' folds into stats_.
+  common::SpinLatch stats_latch_;
   ScanStats stats_;
 };
 

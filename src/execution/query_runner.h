@@ -48,6 +48,17 @@ class QueryRunner {
     pool_.reset();
   }
 
+  /// Toggle per-operator profiling for subsequent plan-based queries (the
+  /// scalar reference engine has no plan to profile). Results are bit-exact
+  /// with profiling on or off; the cost is one timer read per operator per
+  /// block. Read the record back with LastProfile.
+  void SetProfiling(bool on) { profiling_ = on; }
+  bool Profiling() const { return profiling_; }
+
+  /// The profile of the most recent profiled plan-based query (empty when
+  /// profiling is off, no query has run yet, or the last query was kScalar).
+  const op::PlanProfile &LastProfile() const { return last_profile_; }
+
   struct Q1Result {
     std::vector<tpch::Q1Row> rows;
     ScanStats stats;
@@ -83,7 +94,8 @@ class QueryRunner {
     return Execute<Q1Result>(mode, [&](auto *txn, auto *pool, Q1Result *result) {
       result->rows = mode == ExecMode::kScalar
                          ? tpch::RunQ1Scalar(table, txn, params, &result->stats)
-                         : tpch::RunQ1Parallel(table, txn, params, pool, &result->stats);
+                         : tpch::RunQ1Parallel(table, txn, params, pool, &result->stats,
+                                               ProfileOut(mode));
     });
   }
 
@@ -92,7 +104,8 @@ class QueryRunner {
     return Execute<Q6Result>(mode, [&](auto *txn, auto *pool, Q6Result *result) {
       result->revenue = mode == ExecMode::kScalar
                             ? tpch::RunQ6Scalar(table, txn, params, &result->stats)
-                            : tpch::RunQ6Parallel(table, txn, params, pool, &result->stats);
+                            : tpch::RunQ6Parallel(table, txn, params, pool, &result->stats,
+                                                  ProfileOut(mode));
     });
   }
 
@@ -102,7 +115,8 @@ class QueryRunner {
       result->rows =
           mode == ExecMode::kScalar
               ? tpch::RunQ12Scalar(orders, lineitem, txn, params, &result->stats)
-              : tpch::RunQ12Parallel(orders, lineitem, txn, params, pool, &result->stats);
+              : tpch::RunQ12Parallel(orders, lineitem, txn, params, pool, &result->stats,
+                                     ProfileOut(mode));
     });
   }
 
@@ -112,7 +126,8 @@ class QueryRunner {
       result->promo_revenue =
           mode == ExecMode::kScalar
               ? tpch::RunQ14Scalar(lineitem, part, txn, params, &result->stats)
-              : tpch::RunQ14Parallel(lineitem, part, txn, params, pool, &result->stats);
+              : tpch::RunQ14Parallel(lineitem, part, txn, params, pool, &result->stats,
+                                     ProfileOut(mode));
     });
   }
 
@@ -124,7 +139,7 @@ class QueryRunner {
           mode == ExecMode::kScalar
               ? tpch::RunQ3Scalar(customer, orders, lineitem, txn, params, &result->stats)
               : tpch::RunQ3Parallel(customer, orders, lineitem, txn, params, pool,
-                                    &result->stats);
+                                    &result->stats, ProfileOut(mode));
     });
   }
 
@@ -136,6 +151,9 @@ class QueryRunner {
   /// result in between.
   template <typename Result, typename Query>
   Result Execute(ExecMode mode, Query &&query) {
+    // A profiled run replaces the record wholesale; a profiled scalar run
+    // leaves it empty rather than stale.
+    if (profiling_) last_profile_ = op::PlanProfile{};
     Result result;
     transaction::TransactionContext *txn = txn_manager_->BeginTransaction();
     query(txn, mode == ExecMode::kParallel ? Pool() : nullptr, &result);
@@ -154,9 +172,19 @@ class QueryRunner {
     return pool_.get();
   }
 
+  /// Where a plan-based query should record its profile: the runner's slot
+  /// when profiling is on, nowhere otherwise (a null out-param keeps the
+  /// plan's hot path at a single null check per chunk).
+  op::PlanProfile *ProfileOut(ExecMode mode) {
+    if (!profiling_ || mode == ExecMode::kScalar) return nullptr;
+    return &last_profile_;
+  }
+
   transaction::TransactionManager *txn_manager_;
   uint32_t num_threads_;
   std::unique_ptr<common::WorkerPool> pool_;
+  bool profiling_ = false;
+  op::PlanProfile last_profile_;
 };
 
 }  // namespace mainline::execution

@@ -106,7 +106,7 @@ double FinalizeQ14(double total_revenue, double promo_revenue) {
 
 std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
                              const Q1Params &params, common::WorkerPool *pool,
-                             ScanStats *stats) {
+                             ScanStats *stats, op::PlanProfile *profile) {
   const uint16_t qty = ProjectionIndexOf(kQ1Projection, L_QUANTITY);
   const uint16_t price = ProjectionIndexOf(kQ1Projection, L_EXTENDEDPRICE);
   const uint16_t disc = ProjectionIndexOf(kQ1Projection, L_DISCOUNT);
@@ -129,7 +129,9 @@ std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionC
            op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc), op::ColumnRef::Batch(tax))),
        op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Batch(disc))),
        op::AggSpec::Count()});
+  if (profile != nullptr) plan.SetProfiling(true);
   plan.Run(txn, pool, stats);
+  if (profile != nullptr) *profile = plan.Profile();
 
   std::vector<Q1Row> rows;
   rows.reserve(agg->Result().size());
@@ -143,7 +145,8 @@ std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionC
 }
 
 double RunQ6Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
-                 const Q6Params &params, common::WorkerPool *pool, ScanStats *stats) {
+                 const Q6Params &params, common::WorkerPool *pool, ScanStats *stats,
+                 op::PlanProfile *profile) {
   const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
   const uint16_t price = ProjectionIndexOf(kQ6Projection, L_EXTENDEDPRICE);
   const uint16_t disc = ProjectionIndexOf(kQ6Projection, L_DISCOUNT);
@@ -158,13 +161,16 @@ double RunQ6Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
   op::AggregateOp *agg = builder.Aggregate(
       {}, {op::AggSpec::Sum(
               op::Expr::Mul(op::ColumnRef::Batch(price), op::ColumnRef::Batch(disc)))});
+  if (profile != nullptr) plan.SetProfiling(true);
   plan.Run(txn, pool, stats);
+  if (profile != nullptr) *profile = plan.Profile();
   return agg->Result().front().values[0].f64;
 }
 
 std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                transaction::TransactionContext *txn, const Q12Params &params,
-                               common::WorkerPool *pool, ScanStats *stats) {
+                               common::WorkerPool *pool, ScanStats *stats,
+                               op::PlanProfile *profile) {
   const uint16_t okey = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
   const uint16_t prio = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
   const uint16_t lkey = ProjectionIndexOf(kQ12LineitemProjection, L_ORDERKEY);
@@ -187,7 +193,9 @@ std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lin
       .JoinProbe(lkey, build);
   op::AggregateOp *agg =
       builder.Aggregate({mode}, {op::AggSpec::SumPayload(), op::AggSpec::Count()});
+  if (profile != nullptr) plan.SetProfiling(true);
   plan.Run(txn, pool, stats);
+  if (profile != nullptr) *profile = plan.Profile();
 
   std::vector<Q12Row> rows;
   rows.reserve(agg->Result().size());
@@ -204,7 +212,7 @@ std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lin
 
 double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
                   transaction::TransactionContext *txn, const Q14Params &params,
-                  common::WorkerPool *pool, ScanStats *stats) {
+                  common::WorkerPool *pool, ScanStats *stats, op::PlanProfile *profile) {
   const uint16_t pkey = ProjectionIndexOf(kQ14PartProjection, P_PARTKEY);
   const uint16_t ptype = ProjectionIndexOf(kQ14PartProjection, P_TYPE);
   const uint16_t lkey = ProjectionIndexOf(kQ14LineitemProjection, L_PARTKEY);
@@ -226,7 +234,9 @@ double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
       {}, {op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Computed(0))),
            op::AggSpec::Sum(op::Expr::Column(op::ColumnRef::Computed(0)),
                             /*payload_gate=*/true)});
+  if (profile != nullptr) plan.SetProfiling(true);
   plan.Run(txn, pool, stats);
+  if (profile != nullptr) *profile = plan.Profile();
 
   return FinalizeQ14(agg->Result().front().values[0].f64,
                      agg->Result().front().values[1].f64);
@@ -235,7 +245,8 @@ double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
 std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *orders,
                              storage::SqlTable *lineitem,
                              transaction::TransactionContext *txn, const Q3Params &params,
-                             common::WorkerPool *pool, ScanStats *stats) {
+                             common::WorkerPool *pool, ScanStats *stats,
+                             op::PlanProfile *profile) {
   const uint16_t ckey = ProjectionIndexOf(kQ3CustomerProjection, C_CUSTKEY);
   const uint16_t cseg = ProjectionIndexOf(kQ3CustomerProjection, C_MKTSEGMENT);
   const uint16_t lkey = ProjectionIndexOf(kQ3LineitemProjection, L_ORDERKEY);
@@ -270,7 +281,9 @@ std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *ord
       {op::SortKey::MatchPayloadF64(/*descending=*/true), op::SortKey::U32Column(odate)},
       {op::OutputCol::Int64Column(okey), op::OutputCol::MatchPayloadF64(),
        op::OutputCol::U32Column(odate), op::OutputCol::Int32Column(oprio)});
+  if (profile != nullptr) plan.SetProfiling(true);
   plan.Run(txn, pool, stats);
+  if (profile != nullptr) *profile = plan.Profile();
 
   std::vector<Q3Row> rows;
   rows.reserve(topk->Result().size());
@@ -288,62 +301,65 @@ std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *ord
 }  // namespace
 
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
-                         const Q1Params &params, ScanStats *stats) {
-  return RunQ1Plan(table, txn, params, nullptr, stats);
+                         const Q1Params &params, ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ1Plan(table, txn, params, nullptr, stats, profile);
 }
 
 std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
-                                 common::WorkerPool *pool, ScanStats *stats) {
-  return RunQ1Plan(table, txn, params, pool, stats);
+                                 common::WorkerPool *pool, ScanStats *stats,
+                                 op::PlanProfile *profile) {
+  return RunQ1Plan(table, txn, params, pool, stats, profile);
 }
 
 double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
-             const Q6Params &params, ScanStats *stats) {
-  return RunQ6Plan(table, txn, params, nullptr, stats);
+             const Q6Params &params, ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ6Plan(table, txn, params, nullptr, stats, profile);
 }
 
 double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
-                     const Q6Params &params, common::WorkerPool *pool, ScanStats *stats) {
-  return RunQ6Plan(table, txn, params, pool, stats);
+                     const Q6Params &params, common::WorkerPool *pool, ScanStats *stats,
+                     op::PlanProfile *profile) {
+  return RunQ6Plan(table, txn, params, pool, stats, profile);
 }
 
 std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
                            transaction::TransactionContext *txn, const Q12Params &params,
-                           ScanStats *stats) {
-  return RunQ12Plan(orders, lineitem, txn, params, nullptr, stats);
+                           ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ12Plan(orders, lineitem, txn, params, nullptr, stats, profile);
 }
 
 std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                    transaction::TransactionContext *txn,
                                    const Q12Params &params, common::WorkerPool *pool,
-                                   ScanStats *stats) {
-  return RunQ12Plan(orders, lineitem, txn, params, pool, stats);
+                                   ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ12Plan(orders, lineitem, txn, params, pool, stats, profile);
 }
 
 double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
               transaction::TransactionContext *txn, const Q14Params &params,
-              ScanStats *stats) {
-  return RunQ14Plan(lineitem, part, txn, params, nullptr, stats);
+              ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ14Plan(lineitem, part, txn, params, nullptr, stats, profile);
 }
 
 double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
                       transaction::TransactionContext *txn, const Q14Params &params,
-                      common::WorkerPool *pool, ScanStats *stats) {
-  return RunQ14Plan(lineitem, part, txn, params, pool, stats);
+                      common::WorkerPool *pool, ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ14Plan(lineitem, part, txn, params, pool, stats, profile);
 }
 
 std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
                          storage::SqlTable *lineitem, transaction::TransactionContext *txn,
-                         const Q3Params &params, ScanStats *stats) {
-  return RunQ3Plan(customer, orders, lineitem, txn, params, nullptr, stats);
+                         const Q3Params &params, ScanStats *stats, op::PlanProfile *profile) {
+  return RunQ3Plan(customer, orders, lineitem, txn, params, nullptr, stats, profile);
 }
 
 std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
                                  storage::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q3Params &params,
-                                 common::WorkerPool *pool, ScanStats *stats) {
-  return RunQ3Plan(customer, orders, lineitem, txn, params, pool, stats);
+                                 common::WorkerPool *pool, ScanStats *stats,
+                                 op::PlanProfile *profile) {
+  return RunQ3Plan(customer, orders, lineitem, txn, params, pool, stats, profile);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/worker_pool.h"
+#include "execution/operators/plan_profile.h"
 #include "execution/table_scanner.h"
 #include "storage/sql_table.h"
 #include "transaction/transaction_context.h"
@@ -67,24 +68,27 @@ struct Q6Params {
 /// (returnflag, linestatus), as the query specifies.
 /// \param stats accumulates scan counters (may be nullptr)
 std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
-                         const Q1Params &params, ScanStats *stats = nullptr);
+                         const Q1Params &params, ScanStats *stats = nullptr,
+                         op::PlanProfile *profile = nullptr);
 
 /// Q6 as an operator plan (scan -> three filters -> ungrouped
 /// sum(l_extendedprice * l_discount)), run inline.
 double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
-             const Q6Params &params, ScanStats *stats = nullptr);
+             const Q6Params &params, ScanStats *stats = nullptr,
+             op::PlanProfile *profile = nullptr);
 
 /// The same Q1 plan run morsel-parallel over `pool`'s workers. Bit-exact
 /// with RunQ1 and RunQ1Scalar for any worker count. `txn` must stay
 /// read-only while the plan runs (workers share it).
 std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
-                                 common::WorkerPool *pool, ScanStats *stats = nullptr);
+                                 common::WorkerPool *pool, ScanStats *stats = nullptr,
+                                 op::PlanProfile *profile = nullptr);
 
 /// The same Q6 plan run morsel-parallel; same contract as RunQ1Parallel.
 double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
                      const Q6Params &params, common::WorkerPool *pool,
-                     ScanStats *stats = nullptr);
+                     ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
 /// Parameters of TPC-H Q12 (shipping modes and order priority). The two ship
 /// modes mirror the official query's ('MAIL', 'SHIP') pair; the receipt-date
@@ -117,7 +121,7 @@ struct Q12Row {
 /// LineItemSchema() column positions.
 std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
                            transaction::TransactionContext *txn, const Q12Params &params,
-                           ScanStats *stats = nullptr);
+                           ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
 /// The same Q12 plan run morsel-parallel (build scan, partition build, and
 /// probe scan all over `pool`). Bit-exact with RunQ12 and RunQ12Scalar for
@@ -125,7 +129,8 @@ std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineite
 std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
                                    transaction::TransactionContext *txn,
                                    const Q12Params &params, common::WorkerPool *pool,
-                                   ScanStats *stats = nullptr);
+                                   ScanStats *stats = nullptr,
+                                   op::PlanProfile *profile = nullptr);
 
 /// Scalar tuple-at-a-time Q12 reference: a std::unordered_multimap build over
 /// one Select-per-slot scan of ORDERS, probed one lineitem tuple at a time.
@@ -155,14 +160,15 @@ struct Q14Params {
 /// positions.
 double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
               transaction::TransactionContext *txn, const Q14Params &params,
-              ScanStats *stats = nullptr);
+              ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
 /// The same Q14 plan run morsel-parallel. Bit-exact with RunQ14 and
 /// RunQ14Scalar for any worker count. `txn` must stay read-only while the
 /// plan runs.
 double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
                       transaction::TransactionContext *txn, const Q14Params &params,
-                      common::WorkerPool *pool, ScanStats *stats = nullptr);
+                      common::WorkerPool *pool, ScanStats *stats = nullptr,
+                      op::PlanProfile *profile = nullptr);
 
 /// Scalar tuple-at-a-time Q14 reference, accumulating the same per-block
 /// partials in the same order as the plan.
@@ -208,7 +214,8 @@ struct Q3Row {
 /// LineItemSchema() column positions.
 std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
                          storage::SqlTable *lineitem, transaction::TransactionContext *txn,
-                         const Q3Params &params, ScanStats *stats = nullptr);
+                         const Q3Params &params, ScanStats *stats = nullptr,
+                         op::PlanProfile *profile = nullptr);
 
 /// The same Q3 plan run morsel-parallel (all three pipelines over `pool`).
 /// Bit-exact with RunQ3 and RunQ3Scalar for any worker count. `txn` must
@@ -216,7 +223,8 @@ std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
 std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
                                  storage::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q3Params &params,
-                                 common::WorkerPool *pool, ScanStats *stats = nullptr);
+                                 common::WorkerPool *pool, ScanStats *stats = nullptr,
+                                 op::PlanProfile *profile = nullptr);
 
 /// Scalar tuple-at-a-time Q3 reference: hash maps built one Select at a
 /// time, each order's revenue folded over its lineitems in lineitem scan

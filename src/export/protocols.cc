@@ -7,7 +7,7 @@
 
 #include "arrowlite/builder.h"
 #include "arrowlite/ipc.h"
-#include "common/scoped_timer.h"
+#include "common/timer.h"
 #include "storage/arrow_block_metadata.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"

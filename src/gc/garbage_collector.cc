@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "metrics/engine_metrics.h"
 #include "storage/data_table.h"
 #include "storage/storage_util.h"
 #include "storage/undo_record.h"
@@ -25,6 +26,17 @@ std::pair<uint32_t, uint32_t> GarbageCollector::PerformGarbageCollection() {
   const uint32_t deallocated = ProcessDeallocateQueue(oldest);
   ProcessDeferredActions(oldest);
   const uint32_t unlinked = ProcessUnlinkQueue(oldest);
+
+  metrics::GcMetrics &gc_metrics = metrics::Gc();
+  gc_metrics.txns_unlinked->Add(unlinked);
+  gc_metrics.txns_deallocated->Add(deallocated);
+  size_t pending_actions;
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&actions_latch_);
+    pending_actions = deferred_actions_.size();
+  }
+  gc_metrics.backlog->Set(static_cast<int64_t>(txns_to_unlink_.size() +
+                                               txns_to_deallocate_.size() + pending_actions));
   return {deallocated, unlinked};
 }
 

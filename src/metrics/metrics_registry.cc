@@ -1,0 +1,159 @@
+#include "metrics/metrics_registry.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace mainline::metrics {
+
+uint32_t ThreadShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed) & (kNumShards - 1);
+  return index;
+}
+
+Histogram::Histogram(const std::atomic<bool> *enabled, std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), enabled_(enabled) {
+  MAINLINE_ASSERT(bounds_.size() <= kMaxBuckets, "too many histogram buckets");
+  for (size_t i = 1; i < bounds_.size(); i++) {
+    MAINLINE_ASSERT(bounds_[i - 1] < bounds_[i], "histogram bounds must be strictly ascending");
+  }
+}
+
+MetricsRegistry &MetricsRegistry::Global() {
+  static MetricsRegistry registry = [] {
+    const char *env = std::getenv("MAINLINE_METRICS");
+    return MetricsRegistry(env == nullptr || std::string_view(env) != "0");
+  }();
+  return registry;
+}
+
+Counter *MetricsRegistry::RegisterCounter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge *MetricsRegistry::RegisterGauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(&enabled_))).first;
+  }
+  return it->second.get();
+}
+
+Histogram *MetricsRegistry::RegisterHistogram(std::string_view name,
+                                              std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(&enabled_, std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto &[name, counter] : counters_) snapshot.counters[name] = counter->Value();
+  for (const auto &[name, gauge] : gauges_) snapshot.gauges[name] = gauge->Value();
+  for (const auto &[name, histogram] : histograms_) snapshot.histograms[name] = histogram->Value();
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot &earlier) const {
+  MetricsSnapshot delta;
+  for (const auto &[name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    delta.counters[name] = value - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  // Gauges are instantaneous readings, not accumulations: the later value is
+  // the state of the world at the end of the interval.
+  delta.gauges = gauges;
+  for (const auto &[name, data] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      delta.histograms[name] = data;
+      continue;
+    }
+    HistogramData diff = data;
+    const HistogramData &before = it->second;
+    for (size_t i = 0; i < diff.counts.size() && i < before.counts.size(); i++) {
+      diff.counts[i] -= before.counts[i];
+    }
+    diff.total -= before.total;
+    diff.sum -= before.sum;
+    delta.histograms[name] = std::move(diff);
+  }
+  return delta;
+}
+
+namespace {
+
+// The names this engine registers are dot-separated ASCII identifiers, so
+// escaping only needs to survive the unexpected, not full JSON strings.
+void AppendJsonString(std::ostringstream *out, const std::string &text) {
+  *out << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+void AppendJsonArray(std::ostringstream *out, const std::vector<uint64_t> &values) {
+  *out << '[';
+  for (size_t i = 0; i < values.size(); i++) {
+    if (i > 0) *out << ',';
+    *out << values[i];
+  }
+  *out << ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto &[name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto &[name, value] : gauges) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ':' << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto &[name, data] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":{\"bounds\":";
+    AppendJsonArray(&out, data.bounds);
+    out << ",\"counts\":";
+    AppendJsonArray(&out, data.counts);
+    out << ",\"total\":" << data.total << ",\"sum\":" << data.sum << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace mainline::metrics

@@ -1,0 +1,210 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mainline::metrics {
+
+/// Shards per metric. Worker threads hash onto shards by a thread-local
+/// index, so concurrent hot-path updates from up to kNumShards threads never
+/// contend on one cache line; more threads than shards share slots but stay
+/// correct (the slots are atomics). Must be a power of two.
+inline constexpr uint32_t kNumShards = 16;
+
+/// The calling thread's stable shard index: assigned once per thread from a
+/// global sequence, wrapped into [0, kNumShards). The same index keys the
+/// plan profiler's per-worker elapsed slots, so "per worker" means the same
+/// thing everywhere.
+uint32_t ThreadShardIndex();
+
+/// A monotonically increasing counter. Add is a relaxed atomic increment on
+/// the caller's shard — no locks, no shared cache line between workers —
+/// and is safe from any thread, including WorkerPool workers.
+class Counter {
+ public:
+  DISALLOW_COPY_AND_MOVE(Counter)
+
+  void Add(uint64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[ThreadShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Relaxed per-shard reads: the value is exact once
+  /// the writers have quiesced, and a live lower bound while they run.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard &shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool> *enabled) : enabled_(enabled) {}
+
+  /// One cache line per shard: a worker's increments never invalidate
+  /// another worker's line.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kNumShards];
+  const std::atomic<bool> *enabled_;
+};
+
+/// A point-in-time signed value (queue depths, backlogs). Gauges are
+/// rare-path — typically written once per pass by one thread — so a single
+/// padded slot suffices; Set/Add are still atomic for safety.
+class Gauge {
+ public:
+  DISALLOW_COPY_AND_MOVE(Gauge)
+
+  void Set(int64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool> *enabled) : enabled_(enabled) {}
+
+  alignas(64) std::atomic<int64_t> value_{0};
+  const std::atomic<bool> *enabled_;
+};
+
+/// Aggregated view of one histogram: `counts[i]` is the number of observed
+/// values <= `bounds[i]` (and greater than the previous bound); the final
+/// entry of `counts` — one longer than `bounds` — is the overflow bucket.
+struct HistogramData {
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  uint64_t sum = 0;
+};
+
+/// A fixed-bucket histogram of unsigned values (typically microseconds).
+/// Observe walks the (small, immutable) bound list and bumps the caller's
+/// shard — the same lock-free discipline as Counter.
+class Histogram {
+ public:
+  static constexpr size_t kMaxBuckets = 16;
+
+  DISALLOW_COPY_AND_MOVE(Histogram)
+
+  void Observe(uint64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    size_t bucket = bounds_.size();  // overflow unless a bound covers it
+    for (size_t i = 0; i < bounds_.size(); i++) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    Shard &shard = shards_[ThreadShardIndex()];
+    shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  const std::vector<uint64_t> &Bounds() const { return bounds_; }
+
+  HistogramData Value() const {
+    HistogramData data;
+    data.bounds = bounds_;
+    data.counts.assign(bounds_.size() + 1, 0);
+    for (const Shard &shard : shards_) {
+      for (size_t i = 0; i < data.counts.size(); i++) {
+        data.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+      }
+      data.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    for (const uint64_t count : data.counts) data.total += count;
+    return data;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool> *enabled, std::vector<uint64_t> bounds);
+
+  /// Bucket slots padded as a group: one worker's shard (buckets + sum) is
+  /// cache-line-aligned so false sharing cannot cross shards.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> counts[kMaxBuckets + 1] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::vector<uint64_t> bounds_;  // ascending, immutable after registration
+  Shard shards_[kNumShards];
+  const std::atomic<bool> *enabled_;
+};
+
+/// One aggregated reading of every registered metric, keyed by name in a
+/// std::map so iteration — and hence ToJson — is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// What happened between `earlier` and this snapshot: counters and
+  /// histogram buckets subtract (names missing from `earlier` count from
+  /// zero); gauges are instantaneous, so the later reading stands.
+  MetricsSnapshot Delta(const MetricsSnapshot &earlier) const;
+
+  /// Machine-readable dump, stable key order:
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"bounds":[...],
+  /// "counts":[...],"total":N,"sum":S}}}
+  std::string ToJson() const;
+};
+
+/// The engine-wide metric namespace. Metrics are registered once (by name —
+/// re-registration returns the existing handle) behind a mutex, and the
+/// returned handles are stable for the registry's lifetime; the hot path
+/// never sees that mutex. `Global()` is what the engine's subsystems use;
+/// tests can build private instances.
+///
+/// Collection defaults on and can be disabled with the environment variable
+/// MAINLINE_METRICS=0 (or at runtime via SetEnabled) — handles stay valid
+/// and updates become no-ops, so call sites never need a guard.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  DISALLOW_COPY_AND_MOVE(MetricsRegistry)
+
+  /// The process-wide registry; enabled state seeded from MAINLINE_METRICS.
+  static MetricsRegistry &Global();
+
+  Counter *RegisterCounter(std::string_view name);
+  Gauge *RegisterGauge(std::string_view name);
+  /// \param bounds ascending inclusive bucket upper bounds (at most
+  ///        Histogram::kMaxBuckets); values above the last bound land in the
+  ///        overflow bucket.
+  Histogram *RegisterHistogram(std::string_view name, std::vector<uint64_t> bounds);
+
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Aggregate every registered metric. Takes the registration mutex (to
+  /// walk the name maps), not any hot-path lock.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mainline::metrics

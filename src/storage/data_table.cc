@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/engine_metrics.h"
 #include "storage/arrow_block_metadata.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
@@ -91,12 +92,16 @@ void DataTable::RegisterLooseVarlens(transaction::TransactionContext *txn,
                                      const ProjectedRow &redo) const {
   const BlockLayout &layout = GetLayout();
   if (!layout.HasVarlen()) return;
+  uint64_t bytes = 0;
   for (uint16_t i = 0; i < redo.NumColumns(); i++) {
     if (!layout.IsVarlen(redo.ColumnIds()[i])) continue;
     const byte *value = redo.AccessWithNullCheck(i);
     if (value == nullptr) continue;
-    txn->RegisterLooseVarlen(*reinterpret_cast<const VarlenEntry *>(value));
+    const auto *entry = reinterpret_cast<const VarlenEntry *>(value);
+    bytes += entry->Size();
+    txn->RegisterLooseVarlen(*entry);
   }
+  if (bytes != 0) metrics::Storage().varlen_bytes->Add(bytes);
 }
 
 void DataTable::WriteValues(TupleSlot slot, const ProjectedRow &redo) const {
@@ -120,6 +125,7 @@ bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
       if (undo != nullptr) undo->SetTableNull();
       RegisterLooseVarlens(txn, redo);
       txn->SetMustAbort();
+      metrics::Storage().write_write_conflicts->Add(1);
       return false;
     }
     // A deleted (or not-yet-published) tuple cannot be updated.
@@ -143,6 +149,7 @@ bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
   // Apply the update in place. Readers that copied torn data repair it via
   // the undo record installed above.
   WriteValues(slot, redo);
+  metrics::Storage().updates->Add(1);
   return true;
 }
 
@@ -187,6 +194,7 @@ TupleSlot DataTable::Insert(transaction::TransactionContext *txn, const Projecte
     WriteValues(slot, redo);
     RegisterLooseVarlens(txn, redo);
     accessor_.SetAllocated(slot);
+    metrics::Storage().inserts->Add(1);
     return slot;
   }
 }
@@ -199,6 +207,7 @@ bool DataTable::InsertInto(transaction::TransactionContext *txn, TupleSlot dest,
   while (true) {
     UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
     if (HasConflict(*txn, head) || accessor_.Allocated(dest)) {
+      if (HasConflict(*txn, head)) metrics::Storage().write_write_conflicts->Add(1);
       if (undo != nullptr) undo->SetTableNull();
       // As in Update: ownership of the redo's varlens stays with the
       // transaction, whose abort (enforced in Commit) reclaims them.
@@ -232,6 +241,7 @@ bool DataTable::Delete(transaction::TransactionContext *txn, TupleSlot slot) {
   while (true) {
     UndoRecord *head = version_ptr.load(std::memory_order_seq_cst);
     if (HasConflict(*txn, head) || !accessor_.Allocated(slot)) {
+      if (HasConflict(*txn, head)) metrics::Storage().write_write_conflicts->Add(1);
       if (undo != nullptr) undo->SetTableNull();
       return false;
     }
@@ -246,6 +256,7 @@ bool DataTable::Delete(transaction::TransactionContext *txn, TupleSlot slot) {
     if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
   }
   accessor_.SetDeallocated(slot);
+  metrics::Storage().deletes->Add(1);
   return true;
 }
 

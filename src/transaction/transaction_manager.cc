@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logging/log_manager.h"
+#include "metrics/engine_metrics.h"
 #include "storage/data_table.h"
 #include "storage/storage_util.h"
 
@@ -32,6 +33,7 @@ TransactionContext *TransactionManager::BeginTransaction() {
   }
   auto *txn = new TransactionContext(start, start | kUncommittedMask, buffer_pool_);
   txn->logging_enabled_ = log_manager_ != nullptr;
+  metrics::Txn().begins->Add(1);
   return txn;
 }
 
@@ -75,6 +77,7 @@ timestamp_t TransactionManager::Commit(TransactionContext *txn,
   // only after its records are serialized, so the GC can never reclaim
   // varlen buffers the serializer still references.
   if (log_manager_ == nullptr) TransactionFinished(txn);
+  metrics::Txn().commits->Add(1);
   return commit_time;
 }
 
@@ -116,6 +119,7 @@ timestamp_t TransactionManager::Abort(TransactionContext *txn) {
     curr_running_.erase(curr_running_.find(txn->StartTime()));
   }
   TransactionFinished(txn);
+  metrics::Txn().aborts->Add(1);
   return abort_time;
 }
 

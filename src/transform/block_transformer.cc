@@ -6,7 +6,7 @@
 #include <string_view>
 #include <thread>
 
-#include "common/scoped_timer.h"
+#include "common/timer.h"
 #include "storage/arrow_block_metadata.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"

@@ -2,9 +2,13 @@
 
 #include <unordered_set>
 
+#include "common/timer.h"
+#include "metrics/engine_metrics.h"
+
 namespace mainline::transform {
 
-uint32_t TransformPipeline::RunOnce() {
+uint32_t TransformPipeline::RunOnce(TransformStats *pass_stats) {
+  const common::Timer pass_timer;
   // Group candidates per table, validating that each block still belongs to
   // the table we observed (it may have been recycled since).
   std::unordered_map<storage::DataTable *, std::vector<storage::RawBlock *>> per_table;
@@ -26,15 +30,42 @@ uint32_t TransformPipeline::RunOnce() {
     per_table[table].push_back(block);
   }
 
+  metrics::TransformMetrics &transform_metrics = metrics::Transform();
+  // Freshness lag is measured from this pass's cold-collection point to each
+  // group reaching frozen (the watch set holds no per-block timestamps, so
+  // the epochs a block waited before collection are not included).
+  const common::Timer collect_timer;
   uint32_t frozen = 0;
+  TransformStats pass;
   for (auto &[table, blocks] : per_table) {
     for (size_t i = 0; i < blocks.size(); i += group_size_) {
       const size_t end = std::min(blocks.size(), i + group_size_);
       const std::vector<storage::RawBlock *> group(blocks.begin() + static_cast<long>(i),
                                                    blocks.begin() + static_cast<long>(end));
-      frozen += transformer_->ProcessGroup(table, group, &stats_);
+      const uint32_t group_frozen = transformer_->ProcessGroup(table, group, &pass);
+      if (group_frozen > 0) transform_metrics.freeze_lag_us->Observe(collect_timer.Elapsed<>());
+      frozen += group_frozen;
     }
   }
+
+  stats_.tuples_moved += pass.tuples_moved;
+  stats_.blocks_freed += pass.blocks_freed;
+  stats_.blocks_frozen += pass.blocks_frozen;
+  stats_.compaction_aborts += pass.compaction_aborts;
+  stats_.gather_retries += pass.gather_retries;
+  stats_.write_set_size += pass.write_set_size;
+  stats_.compaction_us += pass.compaction_us;
+  stats_.gather_us += pass.gather_us;
+  if (pass_stats != nullptr) *pass_stats = pass;
+
+  transform_metrics.passes->Add(1);
+  transform_metrics.blocks_frozen->Add(pass.blocks_frozen);
+  transform_metrics.blocks_freed->Add(pass.blocks_freed);
+  transform_metrics.tuples_moved->Add(pass.tuples_moved);
+  transform_metrics.compaction_aborts->Add(pass.compaction_aborts);
+  transform_metrics.observer_queue_depth->Set(
+      static_cast<int64_t>(observer_->WatchedBlocks()));
+  transform_metrics.pass_us->Observe(pass_timer.Elapsed<>());
   return frozen;
 }
 

@@ -44,9 +44,13 @@ class TransformPipeline {
     for (storage::RawBlock *block : table->Blocks()) manual_queue_.emplace_back(block, table);
   }
 
-  /// One pass: collect cold blocks, form groups, transform them.
+  /// One pass: collect cold blocks, form groups, transform them. Each pass
+  /// also feeds the engine metrics registry (transform.* counters, the
+  /// observer queue-depth gauge, and the pass/freeze-lag histograms).
+  /// \param pass_stats when non-null, receives this pass's TransformStats
+  ///        alone (the lifetime accumulation stays available via Stats()).
   /// \return number of blocks frozen in this pass.
-  uint32_t RunOnce();
+  uint32_t RunOnce(TransformStats *pass_stats = nullptr);
 
   /// Spawn the background transformation thread.
   void Start(std::chrono::milliseconds period = std::chrono::milliseconds(10));
@@ -54,6 +58,7 @@ class TransformPipeline {
   /// Join the background thread.
   void Stop();
 
+  /// Lifetime accumulation over every pass this pipeline has run.
   const TransformStats &Stats() const { return stats_; }
 
  private:

@@ -217,6 +217,40 @@ TEST_P(ParallelExecutionTest, DegradesToInlineScanWithoutUsableWorkers) {
   gc_.FullGC();
 }
 
+/// Regression: a shut-down pool reports zero workers, so the scan degrades
+/// to the inline path — whose ScanStats must still land in both the merged
+/// Stats() and the WorkerStats() view (one slot for the driving thread).
+/// Each worker folds its partial at loop exit, so no exit path drops stats.
+TEST_P(ParallelExecutionTest, ShutDownPoolLosesNoScanStats) {
+  const uint64_t expect_rows = RowsForBlocks(1);
+  storage::SqlTable *table = Generate(expect_rows);
+  auto *txn = txn_manager_.BeginTransaction();
+
+  common::WorkerPool pool(2);
+  pool.Shutdown();
+  ParallelTableScanner scanner(table, txn, {workload::tpch::L_QUANTITY});
+  uint64_t rows = 0;
+  scanner.Scan(&pool, [&](size_t, ColumnVectorBatch *batch) {
+    rows += static_cast<uint64_t>(batch->NumRows());
+  });
+  txn_manager_.Commit(txn);
+
+  // The merged stats account for every row the callback saw...
+  EXPECT_EQ(rows, expect_rows);
+  EXPECT_EQ(scanner.Stats().rows, expect_rows);
+  EXPECT_EQ(scanner.Stats().frozen_blocks + scanner.Stats().hot_blocks,
+            scanner.NumBlocks());
+  // ...and the per-worker view still partitions them exactly: the whole
+  // scan ran inline, so it collapses to one slot that carries everything.
+  ScanStats summed;
+  for (const ScanStats &s : scanner.WorkerStats()) summed.Add(s);
+  EXPECT_EQ(scanner.WorkerStats().size(), 1u);
+  EXPECT_EQ(summed.rows, scanner.Stats().rows);
+  EXPECT_EQ(summed.frozen_blocks, scanner.Stats().frozen_blocks);
+  EXPECT_EQ(summed.hot_blocks, scanner.Stats().hot_blocks);
+  gc_.FullGC();
+}
+
 TEST_P(ParallelExecutionTest, QueryRunnerParallelModeAgreesAndResizes) {
   storage::SqlTable *table = Generate(RowsForBlocks(1));
   pipeline_.EnqueueTable(&table->UnderlyingTable());
