@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Project lint gate: concurrency hygiene rules the compiler cannot enforce.
+
+Rules (all scoped to src/ unless noted):
+
+  R1  pragma-once    Every header must start its include story with
+                     `#pragma once` (src/ and third_party/minigtest).
+  R2  raw-thread     No `std::thread` outside the blessed thread owners
+                     (WorkerPool, GcThread, LogManager, TransformPipeline)
+                     and tests/bench/examples. `hardware_concurrency()` is
+                     allowed anywhere — it spawns nothing.
+  R3  raw-pause      No `__builtin_ia32_pause` outside common/cpu_relax.h;
+                     spin loops call common::CpuRelax(), which is portable.
+  R4  raw-mutex      No `std::mutex` / `std::condition_variable` /
+                     `std::lock_guard` / `std::unique_lock` outside
+                     common/mutex.h. libstdc++'s types carry no capability
+                     annotations, so Clang's thread-safety analysis cannot
+                     see through them; use common::Mutex / MutexGuard /
+                     ConditionVariable.
+  R5  bare-latch     A latch/mutex member declared in a src/ header
+                     (SpinLatch, SharedLatch, Mutex) must be referenced by a
+                     thread-safety annotation in the same file — GUARDED_BY,
+                     PT_GUARDED_BY, REQUIRES, ACQUIRE, RELEASE, or EXCLUDES —
+                     or carry a `// lint-latch: <reason>` waiver comment in
+                     the lines directly above it. A latch no annotation
+                     mentions protects nothing the analysis can check.
+
+Usage:
+  scripts/lint.py              lint the repository (exit 1 on violations)
+  scripts/lint.py --self-test  run the built-in fixture checks
+"""
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# R2: files allowed to own a std::thread. Everything else routes work through
+# common::WorkerPool (or one of these owners).
+THREAD_OWNERS = {
+    "src/common/worker_pool.h",
+    "src/gc/gc_thread.h",
+    "src/logging/log_manager.h",
+    "src/logging/log_manager.cc",
+    "src/transform/transform_pipeline.h",
+    "src/transform/transform_pipeline.cc",
+}
+
+PAUSE_OWNER = "src/common/cpu_relax.h"  # R3
+MUTEX_OWNER = "src/common/mutex.h"      # R4
+
+RE_THREAD = re.compile(r"std::thread\b(?!::hardware_concurrency)")
+RE_PAUSE = re.compile(r"__builtin_ia32_pause")
+RE_RAW_MUTEX = re.compile(
+    r"std::(?:mutex|condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b")
+# R5: a by-value latch member: optional `mutable`, optional `common::`
+# qualification, one of the annotated capability types, an identifier, then
+# either `;` or an attribute macro. Pointers/references are bindings to a
+# latch owned elsewhere, not a new capability, so they are exempt.
+RE_LATCH_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:common::)?(?:SpinLatch|SharedLatch|Mutex)\s+"
+    r"(?P<name>\w+)\s*(?:;|GUARDED_BY|PT_GUARDED_BY)")
+RE_COMMENT_LINE = re.compile(r"^\s*(//|/\*|\*)")
+
+
+def is_comment(line: str) -> bool:
+    return bool(RE_COMMENT_LINE.match(line))
+
+
+def lint_file(rel_path: str, text: str):
+    """Return a list of (rule, line_number, message) violations for one file."""
+    violations = []
+    lines = text.splitlines()
+    in_tests = rel_path.startswith(("tests/", "bench/", "examples/"))
+    in_src = rel_path.startswith("src/")
+
+    # R1 — headers must use #pragma once.
+    if rel_path.endswith(".h") and (in_src or "minigtest" in rel_path):
+        if "#pragma once" not in text:
+            violations.append(("pragma-once", 1, "header is missing `#pragma once`"))
+
+    for lineno, line in enumerate(lines, start=1):
+        if is_comment(line):
+            continue
+        # R2 — raw std::thread.
+        if in_src and rel_path not in THREAD_OWNERS and RE_THREAD.search(line):
+            violations.append((
+                "raw-thread", lineno,
+                "std::thread outside the blessed owners; submit work to a "
+                "common::WorkerPool instead"))
+        # R3 — raw pause intrinsic.
+        if in_src and rel_path != PAUSE_OWNER and RE_PAUSE.search(line):
+            violations.append((
+                "raw-pause", lineno,
+                "__builtin_ia32_pause is x86-only; call common::CpuRelax()"))
+        # R4 — unannotatable standard synchronization types.
+        if in_src and rel_path != MUTEX_OWNER and RE_RAW_MUTEX.search(line):
+            violations.append((
+                "raw-mutex", lineno,
+                "std synchronization types are invisible to thread-safety "
+                "analysis; use common::Mutex / MutexGuard / ConditionVariable"))
+
+    # R5 — latch members must appear in an annotation or carry a waiver.
+    if in_src and rel_path.endswith(".h") and rel_path != MUTEX_OWNER:
+        for lineno, line in enumerate(lines, start=1):
+            if is_comment(line):
+                continue
+            m = RE_LATCH_MEMBER.match(line)
+            if not m:
+                continue
+            name = m.group("name")
+            referenced = re.search(
+                r"(GUARDED_BY|PT_GUARDED_BY|REQUIRES(?:_SHARED)?|EXCLUDES|"
+                r"ACQUIRE(?:_SHARED)?|TRY_ACQUIRE(?:_SHARED)?|"
+                r"RELEASE(?:_SHARED|_GENERIC)?|ASSERT_CAPABILITY|"
+                r"RETURN_CAPABILITY)\s*\([^)]*\b" + re.escape(name) + r"\b",
+                text)
+            waived = any(
+                "lint-latch:" in lines[i]
+                for i in range(max(0, lineno - 6), lineno - 1)
+                if is_comment(lines[i]))
+            if not referenced and not waived:
+                violations.append((
+                    "bare-latch", lineno,
+                    f"latch member `{name}` is never referenced by a "
+                    "thread-safety annotation in this header; add "
+                    "GUARDED_BY/EXCLUDES/... or a `// lint-latch: <reason>` "
+                    "waiver above it"))
+    return violations
+
+
+def collect_files(root: Path):
+    for pattern in ("src/**/*.h", "src/**/*.cc", "tests/**/*.cc",
+                    "bench/**/*.cc", "examples/**/*.cpp",
+                    "third_party/minigtest/**/*.h"):
+        yield from sorted(root.glob(pattern))
+
+
+def lint_repo(root: Path) -> int:
+    failures = 0
+    for path in collect_files(root):
+        rel = path.relative_to(root).as_posix()
+        for rule, lineno, message in lint_file(rel, path.read_text()):
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            failures += 1
+    if failures:
+        print(f"lint: {failures} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed violating and conforming fixtures, check each rule fires
+# exactly where it should.
+# ---------------------------------------------------------------------------
+
+FIXTURES = [
+    # (relative path, content, expected rule names)
+    ("src/bad/no_pragma.h", "struct X {};\n", {"pragma-once"}),
+    ("src/bad/thread.cc",
+     "#include <thread>\nstd::thread t([]{});\n", {"raw-thread"}),
+    ("src/bad/pause.cc", "void Spin() { __builtin_ia32_pause(); }\n",
+     {"raw-pause"}),
+    ("src/bad/mutex.h",
+     "#pragma once\n#include <mutex>\nstruct S { std::mutex m_; };\n",
+     {"raw-mutex"}),
+    ("src/bad/latch.h",
+     "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n  int x_;\n};\n",
+     {"bare-latch"}),
+    # Conforming fixtures: each previously-violating shape, done right.
+    ("src/good/annotated.h",
+     "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n"
+     "  int x_ GUARDED_BY(latch_);\n};\n", set()),
+    ("src/good/waived.h",
+     "#pragma once\nstruct S {\n"
+     "  // lint-latch: crabbing protocol, not statically checkable\n"
+     "  common::SharedLatch latch;\n};\n", set()),
+    ("src/good/concurrency.cc",
+     "unsigned n = std::thread::hardware_concurrency();\n", set()),
+    ("tests/thread_ok_test.cc",
+     "#include <thread>\nstd::thread t([]{});\n", set()),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rel, content, expected in FIXTURES:
+        got = {rule for rule, _, _ in lint_file(rel, content)}
+        if got != expected:
+            print(f"self-test FAIL {rel}: expected {sorted(expected)}, "
+                  f"got {sorted(got)}")
+            failures += 1
+    # End-to-end: a violating tree must make lint_repo return nonzero.
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = Path(tmp)
+        bad = tree / "src" / "bad.h"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("struct X {};\n")
+        import contextlib, io
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = lint_repo(tree)
+        if rc == 0:
+            print("self-test FAIL: lint_repo accepted a violating tree")
+            failures += 1
+    if failures:
+        print(f"lint --self-test: {failures} failure(s)")
+        return 1
+    print("lint --self-test: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--self-test" in sys.argv:
+        sys.exit(self_test())
+    sys.exit(lint_repo(REPO_ROOT))

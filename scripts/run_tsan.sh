@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ThreadSanitizer lane: build with -fsanitize=thread and run the `stress`
+# ctest label (the suites that exercise real cross-thread interleavings)
+# repeatedly, failing on the first interleaving that produces a report.
+#
+# Usage: scripts/run_tsan.sh [repetitions] [extra cmake args...]
+#   repetitions  how many times to run each stress suite (default 5)
+#   e.g. scripts/run_tsan.sh 10 -DCMAKE_BUILD_TYPE=Debug
+#
+# Suppressions live in tsan_suppressions.txt at the repo root; the target is
+# for that file to stay empty of engine code — every entry must carry a
+# written justification.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-tsan"
+REPS="${1:-5}"
+shift || true
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMAINLINE_SANITIZE_THREAD=ON \
+  -DMAINLINE_BUILD_BENCHMARKS=OFF \
+  "$@"
+cmake --build "${BUILD_DIR}" -j
+
+# halt_on_error: fail fast on the first report instead of letting the suite
+# "pass" with diagnostics on stderr. second_deadlock_stack aids lock-order
+# reports. history_size raises TSan's per-thread event history so reports in
+# the long-running TPC-C suites keep their stacks.
+export TSAN_OPTIONS="suppressions=${REPO_ROOT}/tsan_suppressions.txt halt_on_error=1 second_deadlock_stack=1 history_size=4"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L stress \
+  --repeat until-fail:"${REPS}"

@@ -8,6 +8,7 @@
 #include "catalog/schema.h"
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "index/index.h"
 #include "storage/sql_table.h"
@@ -63,12 +64,12 @@ class Catalog {
 
   storage::BlockStore *block_store_;
   common::SpinLatch latch_;
-  uint32_t next_table_oid_ = 1;
-  uint32_t next_index_oid_ = 1;
-  std::unordered_map<table_oid_t, TableEntry> tables_;
-  std::unordered_map<std::string, table_oid_t> table_names_;
-  std::unordered_map<index_oid_t, IndexEntry> indexes_;
-  std::unordered_map<std::string, index_oid_t> index_names_;
+  uint32_t next_table_oid_ GUARDED_BY(latch_) = 1;
+  uint32_t next_index_oid_ GUARDED_BY(latch_) = 1;
+  std::unordered_map<table_oid_t, TableEntry> tables_ GUARDED_BY(latch_);
+  std::unordered_map<std::string, table_oid_t> table_names_ GUARDED_BY(latch_);
+  std::unordered_map<index_oid_t, IndexEntry> indexes_ GUARDED_BY(latch_);
+  std::unordered_map<std::string, index_oid_t> index_names_ GUARDED_BY(latch_);
 };
 
 }  // namespace mainline::catalog

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace mainline::common {
+
+/// An annotated wrapper over std::mutex.
+///
+/// libstdc++'s std::mutex carries no capability attributes, so Clang's
+/// thread-safety analysis cannot see through a raw `std::mutex` member or a
+/// `std::lock_guard` — fields "guarded by" one would warn on every access.
+/// The engine therefore never declares a bare std::mutex (lint.py enforces
+/// this): blocking sections use this wrapper, spin sections use SpinLatch,
+/// and reader-writer sections use SharedLatch.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  DISALLOW_COPY_AND_MOVE(Mutex)
+
+  void Lock() ACQUIRE() { inner_.lock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return inner_.try_lock(); }
+  void Unlock() RELEASE() { inner_.unlock(); }
+
+ private:
+  friend class MutexGuard;
+  std::mutex inner_;
+};
+
+/// RAII guard for Mutex. Holds a std::unique_lock internally so a
+/// ConditionVariable can wait on it (atomically releasing and reacquiring
+/// the capability — invisible to the analysis, which models the guard as
+/// continuously held, matching what the critical-section code may assume).
+class SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(Mutex *mutex) ACQUIRE(mutex) : lock_(mutex->inner_) {}
+  DISALLOW_COPY_AND_MOVE(MutexGuard)
+  ~MutexGuard() RELEASE() = default;
+
+ private:
+  friend class ConditionVariable;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable with MutexGuard. Waits must be wrapped in the
+/// usual predicate re-check loop by the caller — the explicit `while` form
+/// keeps every guarded-field access lexically inside the MutexGuard scope,
+/// which is exactly what the thread-safety analysis can verify (a predicate
+/// lambda handed to std::condition_variable::wait would be opaque to it).
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  DISALLOW_COPY_AND_MOVE(ConditionVariable)
+
+  /// Release `guard`'s mutex, sleep until notified, reacquire. Spurious
+  /// wakeups are possible; callers re-check their predicate in a loop.
+  void Wait(MutexGuard *guard) { cv_.wait(guard->lock_); }
+
+  /// Like Wait, but returns after `timeout` even if not notified.
+  /// \return false if the wait timed out.
+  template <class Rep, class Period>
+  bool WaitFor(MutexGuard *guard, const std::chrono::duration<Rep, Period> &timeout) {
+    return cv_.wait_for(guard->lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mainline::common

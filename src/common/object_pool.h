@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 
 namespace mainline::common {
 
@@ -60,16 +61,21 @@ class ObjectPool {
     }
   }
 
-  /// \return number of live objects (handed out + cached).
-  uint64_t CurrentSize() const { return current_size_; }
+  /// \return number of live objects (handed out + cached). Taken under the
+  /// latch: a concurrent Get/Release is mid-update, and an unlatched read
+  /// would be a (benign-looking but real) data race on current_size_.
+  uint64_t CurrentSize() const EXCLUDES(latch_) {
+    SpinLatch::ScopedSpinLatch guard(&latch_);
+    return current_size_;
+  }
 
  private:
   Allocator alloc_;
-  SpinLatch latch_;
-  std::vector<T *> reuse_queue_;
+  mutable SpinLatch latch_;
+  std::vector<T *> reuse_queue_ GUARDED_BY(latch_);
   uint64_t size_limit_;
   uint64_t reuse_limit_;
-  uint64_t current_size_ = 0;
+  uint64_t current_size_ GUARDED_BY(latch_) = 0;
 };
 
 }  // namespace mainline::common

@@ -4,18 +4,34 @@
 
 #include "common/cpu_relax.h"
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 
 namespace mainline::common {
 
 /// A cheap test-and-test-and-set spin latch for very short critical sections
 /// (e.g. the commit critical section in the transaction manager).
-class SpinLatch {
+///
+/// Memory-ordering protocol (audited; every atomic op's ordering is paired
+/// with the op it synchronizes against):
+///
+///  * Lock/TryLock `exchange(true, acquire)` — the RMW's atomicity alone
+///    gives mutual exclusion; `acquire` makes it pair with the `release`
+///    store in Unlock, so everything the previous holder wrote inside the
+///    critical section happens-before everything the new holder does. On the
+///    failed path the exchange writes `true` over `true`, which is harmless.
+///  * Unlock `store(false, release)` — a release store is a one-way fence:
+///    no read or write of the critical section may sink below it.
+///  * The inner spin `load(relaxed)` — deliberately relaxed: it carries no
+///    data, only a hint that the latch *might* be free. Correctness is
+///    re-established by the acquiring exchange that follows; using acquire
+///    here would add fence traffic on the contended path for nothing.
+class CAPABILITY("mutex") SpinLatch {
  public:
   SpinLatch() = default;
   DISALLOW_COPY_AND_MOVE(SpinLatch)
 
   /// Acquire the latch, spinning until it is available.
-  void Lock() {
+  void Lock() ACQUIRE() {
     while (true) {
       if (!latch_.exchange(true, std::memory_order_acquire)) return;
       while (latch_.load(std::memory_order_relaxed)) {
@@ -25,17 +41,17 @@ class SpinLatch {
   }
 
   /// \return true if the latch was acquired without blocking.
-  bool TryLock() { return !latch_.exchange(true, std::memory_order_acquire); }
+  bool TryLock() TRY_ACQUIRE(true) { return !latch_.exchange(true, std::memory_order_acquire); }
 
   /// Release the latch.
-  void Unlock() { latch_.store(false, std::memory_order_release); }
+  void Unlock() RELEASE() { latch_.store(false, std::memory_order_release); }
 
   /// RAII guard for SpinLatch.
-  class ScopedSpinLatch {
+  class SCOPED_CAPABILITY ScopedSpinLatch {
    public:
-    explicit ScopedSpinLatch(SpinLatch *latch) : latch_(latch) { latch_->Lock(); }
+    explicit ScopedSpinLatch(SpinLatch *latch) ACQUIRE(latch) : latch_(latch) { latch_->Lock(); }
     DISALLOW_COPY_AND_MOVE(ScopedSpinLatch)
-    ~ScopedSpinLatch() { latch_->Unlock(); }
+    ~ScopedSpinLatch() RELEASE() { latch_->Unlock(); }
 
    private:
     SpinLatch *latch_;

@@ -1,0 +1,60 @@
+#pragma once
+
+// Clang thread-safety (capability) analysis annotations.
+//
+// These macros expose Clang's static lock-checking attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) under the names the
+// engine uses everywhere. Under any other compiler they expand to nothing, so
+// GCC builds are unaffected; a Clang build configured with
+// -DMAINLINE_THREAD_SAFETY=ON turns every annotation into a compile-time
+// check (-Wthread-safety -Werror=thread-safety).
+//
+// Vocabulary:
+//   * CAPABILITY("mutex")   — marks a class as a lockable capability
+//                             (SpinLatch, SharedLatch, Mutex).
+//   * SCOPED_CAPABILITY     — marks an RAII guard whose constructor acquires
+//                             and destructor releases a capability.
+//   * GUARDED_BY(mu)        — a field that may only be accessed while `mu`
+//                             is held (shared for reads, exclusive for
+//                             writes).
+//   * PT_GUARDED_BY(mu)     — like GUARDED_BY, but protects the pointee of a
+//                             pointer/smart-pointer field.
+//   * REQUIRES(mu)          — callers must hold `mu` exclusively before
+//                             calling; REQUIRES_SHARED allows a read lock.
+//   * ACQUIRE/RELEASE       — the function acquires/releases the capability
+//                             (shared variants for reader locks).
+//   * TRY_ACQUIRE(b)        — like ACQUIRE, but only when the function
+//                             returns `b`.
+//   * EXCLUDES(mu)          — callers must NOT hold `mu` (the function takes
+//                             it internally; prevents self-deadlock).
+//   * NO_THREAD_SAFETY_ANALYSIS — opts a function out, for locking protocols
+//                             the analysis cannot express (e.g. the B+-tree's
+//                             hand-over-hand crabbing). Every use must carry
+//                             a comment justifying why.
+
+#if defined(__clang__)
+#define MAINLINE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MAINLINE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) MAINLINE_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY MAINLINE_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) MAINLINE_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MAINLINE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) MAINLINE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MAINLINE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) MAINLINE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) MAINLINE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) MAINLINE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) MAINLINE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) MAINLINE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) MAINLINE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) MAINLINE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) MAINLINE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) MAINLINE_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) MAINLINE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MAINLINE_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) MAINLINE_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) MAINLINE_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS MAINLINE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,14 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "metrics/engine_metrics.h"
 
@@ -33,31 +33,31 @@ class WorkerPool {
   ///         A task enqueued after Shutdown would never run (the workers are
   ///         gone), so a later WaitUntilAllFinished would block forever —
   ///         rejecting it here is what keeps that call deadlock-free.
-  bool SubmitTask(std::function<void()> task) {
+  bool SubmitTask(std::function<void()> task) EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexGuard lock(&mutex_);
       if (shutdown_) return false;
       tasks_.push(Task{Timer(), std::move(task)});
       outstanding_++;
     }
-    task_cv_.notify_one();
+    task_cv_.NotifyOne();
     return true;
   }
 
   /// Block until every submitted task has finished.
-  void WaitUntilAllFinished() {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  void WaitUntilAllFinished() EXCLUDES(mutex_) {
+    MutexGuard lock(&mutex_);
+    while (outstanding_ != 0) done_cv_.Wait(&lock);
   }
 
   /// Stop accepting tasks and join all workers. Pending tasks are drained.
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexGuard lock(&mutex_);
       if (shutdown_) return;
       shutdown_ = true;
     }
-    task_cv_.notify_all();
+    task_cv_.NotifyAll();
     for (auto &w : workers_) w.join();
     workers_.clear();
   }
@@ -65,12 +65,12 @@ class WorkerPool {
   uint32_t NumWorkers() const { return static_cast<uint32_t>(workers_.size()); }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mutex_) {
     while (true) {
       Task task;
       {
-        std::unique_lock lock(mutex_);
-        task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        MutexGuard lock(&mutex_);
+        while (!shutdown_ && tasks_.empty()) task_cv_.Wait(&lock);
         if (tasks_.empty()) {
           if (shutdown_) return;
           continue;
@@ -88,9 +88,9 @@ class WorkerPool {
         // Notify while still holding the mutex: a waiter between its
         // predicate check and its sleep also holds it, so the decrement and
         // the notification cannot slip into that gap and strand the waiter.
-        std::lock_guard lock(mutex_);
+        MutexGuard lock(&mutex_);
         outstanding_--;
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -103,12 +103,12 @@ class WorkerPool {
   };
 
   std::vector<std::thread> workers_;
-  std::queue<Task> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  uint64_t outstanding_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  std::queue<Task> tasks_ GUARDED_BY(mutex_);
+  ConditionVariable task_cv_;
+  ConditionVariable done_cv_;
+  uint64_t outstanding_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mainline::common

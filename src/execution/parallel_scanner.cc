@@ -24,9 +24,12 @@ ParallelTableScanner::ParallelTableScanner(storage::SqlTable *table,
 
 void ParallelTableScanner::Scan(common::WorkerPool *pool, const ConsumeFn &consume) {
   cursor_.store(0, std::memory_order_relaxed);
-  stats_ = ScanStats{};
   const uint32_t workers = pool == nullptr ? 0 : pool->NumWorkers();
-  worker_stats_.assign(workers == 0 ? 1 : workers, ScanStats{});
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    stats_ = ScanStats{};
+    worker_stats_.assign(workers == 0 ? 1 : workers, ScanStats{});
+  }
 
   if (workers == 0) {
     // No usable pool: the cursor machinery still hands out morsels, just to
@@ -46,11 +49,16 @@ void ParallelTableScanner::Scan(common::WorkerPool *pool, const ConsumeFn &consu
     pool->WaitUntilAllFinished();
   }
 
+  ScanStats total;
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    total = stats_;
+  }
   metrics::ScanMetrics &scan_metrics = metrics::Scan();
   scan_metrics.morsel_scans->Add(1);
-  scan_metrics.rows->Add(stats_.rows);
-  scan_metrics.frozen_blocks->Add(stats_.frozen_blocks);
-  scan_metrics.hot_blocks->Add(stats_.hot_blocks);
+  scan_metrics.rows->Add(total.rows);
+  scan_metrics.frozen_blocks->Add(total.frozen_blocks);
+  scan_metrics.hot_blocks->Add(total.hot_blocks);
 }
 
 void ParallelTableScanner::WorkerLoop(size_t worker_index, const ConsumeFn &consume) {

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "common/worker_pool.h"
 #include "execution/column_vector_batch.h"
 #include "execution/table_scanner.h"
@@ -68,27 +69,36 @@ class ParallelTableScanner {
   /// uses WaitUntilAllFinished, which waits on the whole pool). A null pool,
   /// a pool with zero workers, or one that shuts down mid-submit degrades to
   /// an inline scan on the calling thread — never an error, never a hang.
-  void Scan(common::WorkerPool *pool, const ConsumeFn &consume);
+  void Scan(common::WorkerPool *pool, const ConsumeFn &consume) EXCLUDES(stats_latch_);
 
-  /// Merged statistics of the last Scan.
-  const ScanStats &Stats() const { return stats_; }
+  /// Merged statistics of the last Scan. A snapshot by value: workers fold
+  /// partials into the merged total under stats_latch_, so a reference would
+  /// race if read while a Scan is in flight.
+  ScanStats Stats() const EXCLUDES(stats_latch_) {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    return stats_;
+  }
 
   /// Per-worker statistics of the last Scan (one entry per pool worker).
-  const std::vector<ScanStats> &WorkerStats() const { return worker_stats_; }
+  std::vector<ScanStats> WorkerStats() const EXCLUDES(stats_latch_) {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    return worker_stats_;
+  }
 
  private:
   /// Claim morsels from the shared cursor until the table is exhausted.
-  void WorkerLoop(size_t worker_index, const ConsumeFn &consume);
+  void WorkerLoop(size_t worker_index, const ConsumeFn &consume) EXCLUDES(stats_latch_);
 
   storage::SqlTable *table_;
   transaction::TransactionContext *txn_;
   std::vector<uint16_t> projection_;
   std::vector<storage::RawBlock *> blocks_;
   std::atomic<size_t> cursor_{0};
-  std::vector<ScanStats> worker_stats_;
-  /// Guards the exiting workers' folds into stats_.
-  common::SpinLatch stats_latch_;
-  ScanStats stats_;
+  /// Guards the exiting workers' folds into worker_stats_ and stats_, plus
+  /// the driving thread's reset and post-scan reads.
+  mutable common::SpinLatch stats_latch_;
+  std::vector<ScanStats> worker_stats_ GUARDED_BY(stats_latch_);
+  ScanStats stats_ GUARDED_BY(stats_latch_);
 };
 
 }  // namespace mainline::execution

@@ -21,7 +21,8 @@ GarbageCollector::~GarbageCollector() {
 }
 
 std::pair<uint32_t, uint32_t> GarbageCollector::PerformGarbageCollection() {
-  if (observer_ != nullptr) observer_->NewEpoch();
+  transform::AccessObserver *observer = observer_.load(std::memory_order_acquire);
+  if (observer != nullptr) observer->NewEpoch();
   const transaction::timestamp_t oldest = txn_manager_->OldestTransactionStartTime();
   const uint32_t deallocated = ProcessDeallocateQueue(oldest);
   ProcessDeferredActions(oldest);
@@ -51,11 +52,12 @@ uint32_t GarbageCollector::ProcessUnlinkQueue(transaction::timestamp_t oldest) {
       txn_manager_->CompletedTransactionsForGC();
   // Feed the access observer at drain time: the GC epoch approximates each
   // modification's timestamp (Section 4.2).
-  if (observer_ != nullptr) {
+  transform::AccessObserver *observer = observer_.load(std::memory_order_acquire);
+  if (observer != nullptr) {
     for (transaction::TransactionContext *txn : drained) {
       for (storage::UndoRecord *undo : txn->UndoRecords()) {
         if (undo->Table() == nullptr) continue;
-        observer_->ObserveWrite(undo->Slot().GetBlock());
+        observer->ObserveWrite(undo->Slot().GetBlock());
       }
     }
   }

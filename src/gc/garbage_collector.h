@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -7,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "storage/storage_defs.h"
 
@@ -50,10 +52,15 @@ class GarbageCollector {
 
   /// Register an action to run once every transaction active now has
   /// finished (epoch protection for non-transactional memory reclamation).
-  void RegisterDeferredAction(std::function<void()> action);
+  void RegisterDeferredAction(std::function<void()> action) EXCLUDES(actions_latch_);
 
-  /// Attach the access observer fed with per-block modification statistics.
-  void SetAccessObserver(transform::AccessObserver *observer) { observer_ = observer; }
+  /// Attach (or detach, with nullptr) the access observer fed with per-block
+  /// modification statistics. Atomic release store: tests detach observers
+  /// while a GarbageCollectorThread may be mid-pass, and the paired acquire
+  /// load in PerformGarbageCollection must see a fully constructed observer.
+  void SetAccessObserver(transform::AccessObserver *observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
 
   /// Run GC to quiescence: repeated passes until nothing remains. Only safe
   /// when no transactions are running. Used at shutdown and in tests.
@@ -68,14 +75,18 @@ class GarbageCollector {
   static void DeallocateTransaction(transaction::TransactionContext *txn);
 
   transaction::TransactionManager *txn_manager_;
-  transform::AccessObserver *observer_ = nullptr;
+  std::atomic<transform::AccessObserver *> observer_{nullptr};
 
+  // GC-thread-only state: PerformGarbageCollection is single-caller by
+  // contract (one GC thread, or tests calling it inline), so the two queues
+  // need no latch — only the cross-thread deferred-action feed does.
   std::vector<transaction::TransactionContext *> txns_to_unlink_;
   std::vector<std::pair<transaction::timestamp_t, transaction::TransactionContext *>>
       txns_to_deallocate_;
 
   common::SpinLatch actions_latch_;
-  std::vector<std::pair<transaction::timestamp_t, std::function<void()>>> deferred_actions_;
+  std::vector<std::pair<transaction::timestamp_t, std::function<void()>>> deferred_actions_
+      GUARDED_BY(actions_latch_);
 };
 
 }  // namespace mainline::gc

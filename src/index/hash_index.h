@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/shared_latch.h"
+#include "common/thread_annotations.h"
 #include "index/index.h"
 
 namespace mainline::index {
@@ -51,7 +52,7 @@ class HashIndex final : public Index {
  private:
   struct Shard {
     mutable common::SharedLatch latch;
-    std::unordered_map<IndexKey, storage::TupleSlot> map;
+    std::unordered_map<IndexKey, storage::TupleSlot> map GUARDED_BY(latch);
   };
 
   Shard &ShardFor(const IndexKey &key) { return shards_[key.Hash() % kNumShards]; }

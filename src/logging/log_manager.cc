@@ -30,7 +30,7 @@ void LogManager::Start() {
 
 void LogManager::Shutdown() {
   if (run_flush_thread_.exchange(false)) {
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
     flush_thread_.join();
   }
   ForceFlush();
@@ -38,19 +38,21 @@ void LogManager::Shutdown() {
 
 void LogManager::AddTransaction(transaction::TransactionContext *txn) {
   {
-    std::lock_guard lock(queue_latch_);
+    common::MutexGuard lock(&queue_latch_);
     flush_queue_.push_back(txn);
   }
-  flush_cv_.notify_one();
+  flush_cv_.NotifyOne();
 }
 
 void LogManager::FlushLoop() {
   while (run_flush_thread_.load(std::memory_order_acquire)) {
     {
-      std::unique_lock lock(queue_latch_);
-      flush_cv_.wait_for(lock, std::chrono::milliseconds(5), [this] {
-        return !flush_queue_.empty() || !run_flush_thread_.load(std::memory_order_acquire);
-      });
+      common::MutexGuard lock(&queue_latch_);
+      // Bounded wait (group-commit batching window): on timeout we flush
+      // whatever accumulated rather than sleeping until the next enqueue.
+      while (flush_queue_.empty() && run_flush_thread_.load(std::memory_order_acquire)) {
+        if (!flush_cv_.WaitFor(&lock, std::chrono::milliseconds(5))) break;
+      }
     }
     ForceFlush();
   }
@@ -59,7 +61,7 @@ void LogManager::FlushLoop() {
 void LogManager::ForceFlush() {
   std::vector<transaction::TransactionContext *> batch;
   {
-    std::lock_guard lock(queue_latch_);
+    common::MutexGuard lock(&queue_latch_);
     batch.swap(flush_queue_);
   }
   if (batch.empty()) return;

@@ -1,15 +1,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "logging/log_record.h"
 #include "storage/record_buffer.h"
 
@@ -53,14 +53,14 @@ class LogManager {
   void Start();
 
   /// Drain the queue, flush, and join the background thread.
-  void Shutdown();
+  void Shutdown() EXCLUDES(queue_latch_);
 
   /// Enqueue a committed (or read-only) transaction's redo buffer.
-  void AddTransaction(transaction::TransactionContext *txn);
+  void AddTransaction(transaction::TransactionContext *txn) EXCLUDES(queue_latch_);
 
   /// Synchronously process everything currently queued (serialize + fsync +
   /// run callbacks). Used by tests and single-threaded setups.
-  void ForceFlush();
+  void ForceFlush() EXCLUDES(queue_latch_);
 
   /// Install the table resolver used to interpret redo record payloads.
   void SetTableResolver(TableResolver resolver) { table_resolver_ = std::move(resolver); }
@@ -71,7 +71,7 @@ class LogManager {
   uint64_t BytesWritten() const { return bytes_written_.load(std::memory_order_relaxed); }
 
  private:
-  void FlushLoop();
+  void FlushLoop() EXCLUDES(queue_latch_);
   /// Serialize and stage one transaction's records; collects its durability
   /// callback (if any) into `callbacks`.
   void ProcessTransaction(transaction::TransactionContext *txn,
@@ -91,12 +91,16 @@ class LogManager {
 
   std::string log_file_path_;
   transaction::TransactionManager *txn_manager_;
+  // Serializer-path-only state (table_resolver_, fd_, out_buffer_): touched
+  // exclusively by whichever single thread is inside ForceFlush — the flush
+  // thread, or the caller's thread in tests/single-threaded setups before
+  // Start. Installing the resolver must happen before logging begins.
   TableResolver table_resolver_;
   int fd_ = -1;
 
-  std::mutex queue_latch_;
-  std::vector<transaction::TransactionContext *> flush_queue_;
-  std::condition_variable flush_cv_;
+  common::Mutex queue_latch_;
+  std::vector<transaction::TransactionContext *> flush_queue_ GUARDED_BY(queue_latch_);
+  common::ConditionVariable flush_cv_;
 
   std::vector<byte> out_buffer_;
   std::atomic<uint64_t> records_written_{0};

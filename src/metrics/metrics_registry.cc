@@ -31,7 +31,7 @@ MetricsRegistry &MetricsRegistry::Global() {
 }
 
 Counter *MetricsRegistry::RegisterCounter(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  common::MutexGuard guard(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter(&enabled_)))
@@ -41,7 +41,7 @@ Counter *MetricsRegistry::RegisterCounter(std::string_view name) {
 }
 
 Gauge *MetricsRegistry::RegisterGauge(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  common::MutexGuard guard(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(&enabled_))).first;
@@ -51,7 +51,7 @@ Gauge *MetricsRegistry::RegisterGauge(std::string_view name) {
 
 Histogram *MetricsRegistry::RegisterHistogram(std::string_view name,
                                               std::vector<uint64_t> bounds) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  common::MutexGuard guard(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -63,7 +63,7 @@ Histogram *MetricsRegistry::RegisterHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  common::MutexGuard guard(&mutex_);
   MetricsSnapshot snapshot;
   for (const auto &[name, counter] : counters_) snapshot.counters[name] = counter->Value();
   for (const auto &[name, gauge] : gauges_) snapshot.gauges[name] = gauge->Value();

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mainline::metrics {
 
@@ -185,26 +186,28 @@ class MetricsRegistry {
   /// The process-wide registry; enabled state seeded from MAINLINE_METRICS.
   static MetricsRegistry &Global();
 
-  Counter *RegisterCounter(std::string_view name);
-  Gauge *RegisterGauge(std::string_view name);
+  Counter *RegisterCounter(std::string_view name) EXCLUDES(mutex_);
+  Gauge *RegisterGauge(std::string_view name) EXCLUDES(mutex_);
   /// \param bounds ascending inclusive bucket upper bounds (at most
   ///        Histogram::kMaxBuckets); values above the last bound land in the
   ///        overflow bucket.
-  Histogram *RegisterHistogram(std::string_view name, std::vector<uint64_t> bounds);
+  Histogram *RegisterHistogram(std::string_view name, std::vector<uint64_t> bounds)
+      EXCLUDES(mutex_);
 
   void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Aggregate every registered metric. Takes the registration mutex (to
   /// walk the name maps), not any hot-path lock.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace mainline::metrics

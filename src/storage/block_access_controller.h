@@ -29,6 +29,33 @@ enum class BlockState : uint32_t {
 /// (Figure 7): in-place readers increment it while scanning; a transaction
 /// that wants to update a frozen block first flips the state to hot (blocking
 /// new in-place readers) and then spins until lingering readers leave.
+///
+/// Memory-ordering protocol (audited — every transition on word_ forms one of
+/// these release/acquire pairs; none is weaker than its pairing requires):
+///
+///  - SetFrozen's release store publishes the gathered Arrow data: it pairs
+///    with the acquire half of TryAcquireRead's CAS (and with GetState's
+///    acquire load), so an in-place reader that observes kFrozen also
+///    observes every column write the gather phase performed before it.
+///  - ReleaseRead's acq_rel decrement: the release half publishes the
+///    reader's loads-from-the-block to the updater spinning in WaitUntilHot
+///    (a release fence orders *all* prior memory operations, loads included,
+///    so the block's bytes cannot be recycled out from under a reader that
+///    has logically left); the acquire half keeps later reads in a reader's
+///    next critical section from floating above the decrement.
+///  - WaitUntilHot's acquire loads (direct and via ReaderCount) pair with
+///    ReleaseRead and with SetFrozen/TrySet* releases: once the updater sees
+///    zero readers it also sees their completed accesses, and once it sees a
+///    state written by the transformation thread it sees the block contents
+///    that state implies. Its CAS is acq_rel: the release half publishes
+///    nothing the paper's protocol needs today (the flip precedes the
+///    update's writes, which version chains order separately), but keeps the
+///    hot-flip a full synchronization point cheaply.
+///  - TrySetCooling / TrySetFreezing CASes are acq_rel for the same reason:
+///    the acquire half lets the transformation thread see all updates that
+///    committed while the block was hot before it starts compacting.
+///  - Initialize's release store pairs with any later acquire load so a
+///    freshly recycled block's reset is visible together with its reuse.
 class BlockAccessController {
  public:
   /// Reset the controller to the hot state with no readers.

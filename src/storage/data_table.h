@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/shared_latch.h"
+#include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "storage/block_layout.h"
 #include "storage/projected_row.h"
@@ -198,13 +199,13 @@ class DataTable {
   ProjectedRowInitializer full_row_initializer_;
 
   mutable common::SharedLatch blocks_latch_;
-  std::vector<RawBlock *> blocks_;
+  std::vector<RawBlock *> blocks_ GUARDED_BY(blocks_latch_);
   std::atomic<RawBlock *> insertion_block_;
-  // Blocks with a deferred release in flight (guarded by blocks_latch_).
-  // Scheduling is deduplicated here so at most one release exists per block
-  // incarnation — a stale second release could otherwise free a recycled
-  // block before the epoch protecting its readers has passed.
-  std::unordered_set<RawBlock *> pending_release_;
+  // Blocks with a deferred release in flight. Scheduling is deduplicated
+  // here so at most one release exists per block incarnation — a stale
+  // second release could otherwise free a recycled block before the epoch
+  // protecting its readers has passed.
+  std::unordered_set<RawBlock *> pending_release_ GUARDED_BY(blocks_latch_);
 };
 
 }  // namespace mainline::storage

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/tsan_annotations.h"
 #include "common/typedefs.h"
 #include "storage/projected_row.h"
 #include "storage/tuple_access_strategy.h"
@@ -26,6 +27,12 @@ class StorageUtil {
   /// block into the projection, preserving nulls.
   static void CopyAttrIntoProjection(const TupleAccessStrategy &accessor, TupleSlot slot,
                                      ProjectedRow *to, uint16_t idx) {
+    // Torn-read protocol: this read from the block intentionally races with
+    // in-place writers. Select callers re-read the slot's version pointer
+    // (seq_cst) AFTER copying and repair through the undo chain; Update's
+    // before-image population is re-run whenever its version-pointer CAS
+    // fails. Either way, bytes that raced are never used unrepaired.
+    common::TsanIgnoreReadsScope torn_read;
     const col_id_t col = to->ColumnIds()[idx];
     const byte *from = accessor.AccessWithNullCheck(slot, col);
     if (from == nullptr) {

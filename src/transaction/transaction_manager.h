@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "storage/record_buffer.h"
 #include "transaction/transaction_context.h"
@@ -54,7 +55,8 @@ class TransactionManager {
   /// \return the commit timestamp.
   timestamp_t Commit(TransactionContext *txn,
                      logging::CommitRecord::DurabilityCallback callback = nullptr,
-                     void *callback_arg = nullptr);
+                     void *callback_arg = nullptr)
+      EXCLUDES(commit_latch_, curr_running_latch_, completed_latch_);
 
   /// Abort `txn`: roll back its in-place changes in reverse order, then
   /// "commit" its undo records at a fresh timestamp by flipping the sign bit
@@ -91,10 +93,13 @@ class TransactionManager {
 
   std::atomic<timestamp_t> time_{kInitialTimestamp + 1};
   common::SpinLatch curr_running_latch_;
-  std::multiset<timestamp_t> curr_running_;
+  std::multiset<timestamp_t> curr_running_ GUARDED_BY(curr_running_latch_);
+  // Serializes the commit critical section (timestamp draw + delta
+  // stamping); it guards an ordering invariant, not data — the fields it
+  // orders are the delta records' atomics. Referenced by Commit's EXCLUDES.
   common::SpinLatch commit_latch_;
   common::SpinLatch completed_latch_;
-  std::vector<TransactionContext *> completed_txns_;
+  std::vector<TransactionContext *> completed_txns_ GUARDED_BY(completed_latch_);
 
   storage::RecordBufferSegmentPool *buffer_pool_;
   bool gc_enabled_;

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "storage/raw_block.h"
 
 namespace mainline::transform {
@@ -26,18 +28,23 @@ class AccessObserver {
 
   DISALLOW_COPY_AND_MOVE(AccessObserver)
 
-  /// Called by the GC at the start of each run.
-  void NewEpoch() { epoch_++; }
+  /// Called by the GC at the start of each run. Relaxed atomic increment:
+  /// the GC thread is the only writer, but the transformation thread reads
+  /// the epoch concurrently (CollectColdBlocks), so a plain uint64_t here
+  /// was a data race — coldness is a heuristic, so no ordering is needed
+  /// beyond tear-free reads.
+  void NewEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Called by the GC for every block touched by a transaction it processed.
-  void ObserveWrite(storage::RawBlock *block) {
-    block->last_touched_epoch.store(epoch_, std::memory_order_relaxed);
+  void ObserveWrite(storage::RawBlock *block) EXCLUDES(latch_) {
+    block->last_touched_epoch.store(epoch_.load(std::memory_order_relaxed),
+                                    std::memory_order_relaxed);
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
     watched_[block] = block->data_table;
   }
 
   /// Stop tracking a block (e.g. because the compactor released it).
-  void ForgetBlock(storage::RawBlock *block) {
+  void ForgetBlock(storage::RawBlock *block) EXCLUDES(latch_) {
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
     watched_.erase(block);
   }
@@ -47,13 +54,15 @@ class AccessObserver {
   /// re-enter when modified again). The pair's second element is the owning
   /// table observed at write time; the caller must validate that the block
   /// still belongs to it.
-  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> CollectColdBlocks() {
+  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> CollectColdBlocks()
+      EXCLUDES(latch_) {
     std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> result;
+    const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
     for (auto it = watched_.begin(); it != watched_.end();) {
       storage::RawBlock *block = it->first;
       const uint64_t last = block->last_touched_epoch.load(std::memory_order_relaxed);
-      if (epoch_ >= last + cold_threshold_) {
+      if (epoch >= last + cold_threshold_) {
         result.emplace_back(block, it->second);
         it = watched_.erase(it);
       } else {
@@ -64,19 +73,19 @@ class AccessObserver {
   }
 
   /// \return the current GC epoch.
-  uint64_t Epoch() const { return epoch_; }
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   /// \return number of blocks currently watched.
-  size_t WatchedBlocks() {
+  size_t WatchedBlocks() EXCLUDES(latch_) {
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
     return watched_.size();
   }
 
  private:
   const uint64_t cold_threshold_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
   common::SpinLatch latch_;
-  std::unordered_map<storage::RawBlock *, storage::DataTable *> watched_;
+  std::unordered_map<storage::RawBlock *, storage::DataTable *> watched_ GUARDED_BY(latch_);
 };
 
 }  // namespace mainline::transform

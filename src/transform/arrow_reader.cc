@@ -4,6 +4,7 @@
 
 #include "arrowlite/builder.h"
 #include "common/raw_bitmap.h"
+#include "common/tsan_annotations.h"
 #include "storage/arrow_block_metadata.h"
 #include "storage/varlen_entry.h"
 
@@ -215,6 +216,15 @@ std::shared_ptr<arrowlite::RecordBatch> ArrowReader::MaterializeBlock(
     std::vector<uint8_t> valid;  // LSB-first presence bits, Arrow layout
   };
   std::vector<ColumnSnapshot> snap(positions.size());
+  // The block-granularity torn-read protocol described above is exactly the
+  // kind of race TSan flags: the column snapshot (and the emit loops below,
+  // which deref snapshot varlen entries whose 16-byte values may have been
+  // repointed by a concurrent gather — old and new targets hold identical,
+  // never-overwritten bytes) reads hot-block memory while writers update it
+  // in place. Slots whose bytes could have raced are detected by the
+  // version-pointer reads in the validation loop — those are atomic, still
+  // tracked inside this scope — and routed to the Select slow path.
+  common::TsanIgnoreReadsScope torn_read;
   // An empty vector's data() is null and memcpy's pointer arguments must not
   // be, even for zero sizes — and a block with no used slots (a fresh table's
   // insertion block) has nothing to snapshot anyway.

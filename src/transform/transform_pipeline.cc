@@ -48,14 +48,17 @@ uint32_t TransformPipeline::RunOnce(TransformStats *pass_stats) {
     }
   }
 
-  stats_.tuples_moved += pass.tuples_moved;
-  stats_.blocks_freed += pass.blocks_freed;
-  stats_.blocks_frozen += pass.blocks_frozen;
-  stats_.compaction_aborts += pass.compaction_aborts;
-  stats_.gather_retries += pass.gather_retries;
-  stats_.write_set_size += pass.write_set_size;
-  stats_.compaction_us += pass.compaction_us;
-  stats_.gather_us += pass.gather_us;
+  {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    stats_.tuples_moved += pass.tuples_moved;
+    stats_.blocks_freed += pass.blocks_freed;
+    stats_.blocks_frozen += pass.blocks_frozen;
+    stats_.compaction_aborts += pass.compaction_aborts;
+    stats_.gather_retries += pass.gather_retries;
+    stats_.write_set_size += pass.write_set_size;
+    stats_.compaction_us += pass.compaction_us;
+    stats_.gather_us += pass.gather_us;
+  }
   if (pass_stats != nullptr) *pass_stats = pass;
 
   transform_metrics.passes->Add(1);

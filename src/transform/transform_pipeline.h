@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
 
@@ -39,7 +41,7 @@ class TransformPipeline {
   /// Manually enqueue every current block of `table` as a cold candidate
   /// (e.g. a bulk-loaded, read-mostly table whose writes predate the
   /// observer).
-  void EnqueueTable(storage::DataTable *table) {
+  void EnqueueTable(storage::DataTable *table) EXCLUDES(manual_latch_) {
     common::SpinLatch::ScopedSpinLatch guard(&manual_latch_);
     for (storage::RawBlock *block : table->Blocks()) manual_queue_.emplace_back(block, table);
   }
@@ -50,7 +52,7 @@ class TransformPipeline {
   /// \param pass_stats when non-null, receives this pass's TransformStats
   ///        alone (the lifetime accumulation stays available via Stats()).
   /// \return number of blocks frozen in this pass.
-  uint32_t RunOnce(TransformStats *pass_stats = nullptr);
+  uint32_t RunOnce(TransformStats *pass_stats = nullptr) EXCLUDES(manual_latch_, stats_latch_);
 
   /// Spawn the background transformation thread.
   void Start(std::chrono::milliseconds period = std::chrono::milliseconds(10));
@@ -58,17 +60,25 @@ class TransformPipeline {
   /// Join the background thread.
   void Stop();
 
-  /// Lifetime accumulation over every pass this pipeline has run.
-  const TransformStats &Stats() const { return stats_; }
+  /// Lifetime accumulation over every pass this pipeline has run. Returns a
+  /// snapshot by value: when the pipeline runs on its background thread
+  /// (Start), a reference into stats_ would race with the accumulation at
+  /// the end of each concurrent RunOnce.
+  TransformStats Stats() const EXCLUDES(stats_latch_) {
+    common::SpinLatch::ScopedSpinLatch guard(&stats_latch_);
+    return stats_;
+  }
 
  private:
   AccessObserver *observer_;
   BlockTransformer *transformer_;
   uint32_t group_size_;
   std::function<bool(storage::DataTable *)> table_filter_;
-  TransformStats stats_;
+  mutable common::SpinLatch stats_latch_;
+  TransformStats stats_ GUARDED_BY(stats_latch_);
   common::SpinLatch manual_latch_;
-  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> manual_queue_;
+  std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> manual_queue_
+      GUARDED_BY(manual_latch_);
 
   std::thread worker_;
   std::atomic<bool> run_{false};

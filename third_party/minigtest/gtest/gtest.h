@@ -16,6 +16,10 @@
 // system installation (see MAINLINE_USE_SYSTEM_GTEST in the top-level
 // CMakeLists.txt); this header keeps the source-level API identical.
 
+#pragma once
+// The classic guard is kept alongside #pragma once so a real GoogleTest
+// installation's gtest.h (which defines its own guard) cannot double-include
+// through this shim under MAINLINE_USE_SYSTEM_GTEST include-path mixing.
 #ifndef MINIGTEST_GTEST_H_
 #define MINIGTEST_GTEST_H_
 
