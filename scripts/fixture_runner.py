@@ -1,0 +1,40 @@
+"""Shared fixture runner for the project's static-analysis gates.
+
+Both scripts/lint.py and scripts/analyze.py self-test the same way: a list of
+small fixtures (violating and conforming inputs) is checked against the rule
+names each fixture is expected to trigger. Keeping the runner in one module
+means the two gates cannot drift in how they report or count self-test
+failures.
+
+A fixture is a tuple `(label, payload, expected)` where `label` names the
+case in failure output, `payload` is whatever the gate's `evaluate` callback
+consumes, and `expected` is the set of rule names that must fire — exactly
+those, no more, no fewer.
+"""
+
+
+def run_fixtures(suite_name, fixtures, evaluate):
+    """Run `evaluate(payload)` for every fixture and compare rule sets.
+
+    \param suite_name  printed in the summary line (e.g. "lint --self-test")
+    \param fixtures    iterable of (label, payload, expected_rule_set)
+    \param evaluate    callback mapping a payload to the set of fired rules
+    \return the number of failing fixtures (0 means the suite passed)
+    """
+    failures = 0
+    for label, payload, expected in fixtures:
+        got = evaluate(payload)
+        if got != expected:
+            print(f"{suite_name} FAIL {label}: expected {sorted(expected)}, "
+                  f"got {sorted(got)}")
+            failures += 1
+    return failures
+
+
+def finish(suite_name, failures):
+    """Print the suite verdict and return the process exit code."""
+    if failures:
+        print(f"{suite_name}: {failures} failure(s)")
+        return 1
+    print(f"{suite_name}: ok")
+    return 0

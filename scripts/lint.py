@@ -35,6 +35,8 @@ import sys
 import tempfile
 from pathlib import Path
 
+from fixture_runner import finish, run_fixtures
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # R2: files allowed to own a std::thread. Everything else routes work through
@@ -158,41 +160,49 @@ def lint_repo(root: Path) -> int:
 # ---------------------------------------------------------------------------
 
 FIXTURES = [
-    # (relative path, content, expected rule names)
-    ("src/bad/no_pragma.h", "struct X {};\n", {"pragma-once"}),
+    # (label, (relative path, content), expected rule names)
+    ("src/bad/no_pragma.h",
+     ("src/bad/no_pragma.h", "struct X {};\n"), {"pragma-once"}),
     ("src/bad/thread.cc",
-     "#include <thread>\nstd::thread t([]{});\n", {"raw-thread"}),
-    ("src/bad/pause.cc", "void Spin() { __builtin_ia32_pause(); }\n",
+     ("src/bad/thread.cc", "#include <thread>\nstd::thread t([]{});\n"),
+     {"raw-thread"}),
+    ("src/bad/pause.cc",
+     ("src/bad/pause.cc", "void Spin() { __builtin_ia32_pause(); }\n"),
      {"raw-pause"}),
     ("src/bad/mutex.h",
-     "#pragma once\n#include <mutex>\nstruct S { std::mutex m_; };\n",
+     ("src/bad/mutex.h",
+      "#pragma once\n#include <mutex>\nstruct S { std::mutex m_; };\n"),
      {"raw-mutex"}),
     ("src/bad/latch.h",
-     "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n  int x_;\n};\n",
+     ("src/bad/latch.h",
+      "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n  int x_;\n};\n"),
      {"bare-latch"}),
     # Conforming fixtures: each previously-violating shape, done right.
     ("src/good/annotated.h",
-     "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n"
-     "  int x_ GUARDED_BY(latch_);\n};\n", set()),
+     ("src/good/annotated.h",
+      "#pragma once\nstruct S {\n  common::SpinLatch latch_;\n"
+      "  int x_ GUARDED_BY(latch_);\n};\n"), set()),
     ("src/good/waived.h",
-     "#pragma once\nstruct S {\n"
-     "  // lint-latch: crabbing protocol, not statically checkable\n"
-     "  common::SharedLatch latch;\n};\n", set()),
+     ("src/good/waived.h",
+      "#pragma once\nstruct S {\n"
+      "  // lint-latch: crabbing protocol, not statically checkable\n"
+      "  common::SharedLatch latch;\n};\n"), set()),
     ("src/good/concurrency.cc",
-     "unsigned n = std::thread::hardware_concurrency();\n", set()),
+     ("src/good/concurrency.cc",
+      "unsigned n = std::thread::hardware_concurrency();\n"), set()),
     ("tests/thread_ok_test.cc",
-     "#include <thread>\nstd::thread t([]{});\n", set()),
+     ("tests/thread_ok_test.cc",
+      "#include <thread>\nstd::thread t([]{});\n"), set()),
 ]
 
 
+def evaluate_fixture(payload):
+    rel, content = payload
+    return {rule for rule, _, _ in lint_file(rel, content)}
+
+
 def self_test() -> int:
-    failures = 0
-    for rel, content, expected in FIXTURES:
-        got = {rule for rule, _, _ in lint_file(rel, content)}
-        if got != expected:
-            print(f"self-test FAIL {rel}: expected {sorted(expected)}, "
-                  f"got {sorted(got)}")
-            failures += 1
+    failures = run_fixtures("lint --self-test", FIXTURES, evaluate_fixture)
     # End-to-end: a violating tree must make lint_repo return nonzero.
     with tempfile.TemporaryDirectory() as tmp:
         tree = Path(tmp)
@@ -204,13 +214,9 @@ def self_test() -> int:
         with contextlib.redirect_stdout(buf):
             rc = lint_repo(tree)
         if rc == 0:
-            print("self-test FAIL: lint_repo accepted a violating tree")
+            print("lint --self-test FAIL: lint_repo accepted a violating tree")
             failures += 1
-    if failures:
-        print(f"lint --self-test: {failures} failure(s)")
-        return 1
-    print("lint --self-test: ok")
-    return 0
+    return finish("lint --self-test", failures)
 
 
 if __name__ == "__main__":
