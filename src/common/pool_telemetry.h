@@ -1,0 +1,35 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mainline::common {
+
+/// Telemetry hook for WorkerPool, so the pool can report task flow without
+/// common/ depending on the metrics layer above it. The metrics module
+/// installs its sink from a static registrar in engine_metrics.cc; any
+/// binary that links the metrics objects gets pool.* accounting, and one
+/// that does not simply runs with the hook empty. Install is idempotent and
+/// may race with TaskStarted: the acquire/release pair orders the sink's
+/// own initialization before workers can call through it.
+class PoolTelemetry {
+ public:
+  /// \param queue_wait_us submit → start latency of the dequeued task
+  using Sink = void (*)(uint64_t queue_wait_us);
+
+  /// Install the process-wide sink. Passing nullptr uninstalls it.
+  static void Install(Sink sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+
+  /// Called by a worker immediately before running a dequeued task.
+  static void TaskStarted(uint64_t queue_wait_us) {
+    Sink sink = sink_.load(std::memory_order_acquire);
+    if (sink != nullptr) sink(queue_wait_us);
+  }
+
+ private:
+  static inline std::atomic<Sink> sink_{nullptr};
+};
+
+}  // namespace mainline::common

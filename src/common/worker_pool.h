@@ -8,9 +8,9 @@
 
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "common/pool_telemetry.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
-#include "metrics/engine_metrics.h"
 
 namespace mainline::common {
 
@@ -78,11 +78,7 @@ class WorkerPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      {
-        metrics::PoolMetrics &pool_metrics = metrics::Pool();
-        pool_metrics.queue_wait_us->Observe(task.enqueued.Elapsed<>());
-        pool_metrics.tasks_run->Add(1);
-      }
+      PoolTelemetry::TaskStarted(task.enqueued.Elapsed<>());
       task.fn();
       {
         // Notify while still holding the mutex: a waiter between its

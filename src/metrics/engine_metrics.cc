@@ -1,6 +1,27 @@
 #include "metrics/engine_metrics.h"
 
+#include "common/pool_telemetry.h"
+
 namespace mainline::metrics {
+
+namespace {
+
+// Static registrar that points common::WorkerPool's telemetry hook at the
+// pool.* handles. Lives here rather than in common/ so the dependency runs
+// strictly upward: the pool knows only the hook, and linking the metrics
+// objects is what turns pool accounting on. The sink resolves Pool() per
+// call (a function-local-static check), so installation order against other
+// static initializers does not matter.
+const bool pool_telemetry_installed = [] {
+  common::PoolTelemetry::Install(+[](uint64_t queue_wait_us) {
+    PoolMetrics &pool = Pool();
+    pool.queue_wait_us->Observe(queue_wait_us);
+    pool.tasks_run->Add(1);
+  });
+  return true;
+}();
+
+}  // namespace
 
 StorageMetrics &Storage() {
   static StorageMetrics handles = [] {
