@@ -63,7 +63,7 @@ inline catalog::Schema MicroSchema() {
 /// Fill `table` with `num_blocks` blocks' worth of tuples, then delete
 /// `percent_empty`% of them at random and GC to quiescence — the
 /// "data that went cold since the last transformation pass" setup.
-inline void PopulateMicroTable(Engine *engine, storage::SqlTable *table, uint32_t num_blocks,
+inline void PopulateMicroTable(Engine *engine, catalog::SqlTable *table, uint32_t num_blocks,
                                uint32_t percent_empty, uint64_t seed = 31) {
   common::Xorshift rng(seed);
   const auto initializer = table->FullInitializer();

@@ -27,7 +27,7 @@ int main() {
   Engine engine;
   std::printf("== Figure 1: loading LINEITEM (%lu rows) into an analytics tool ==\n",
               static_cast<unsigned long>(rows));
-  storage::SqlTable *table =
+  catalog::SqlTable *table =
       workload::tpch::GenerateLineItem(&engine.catalog, &engine.txn_manager, rows);
   engine.gc.FullGC();
 

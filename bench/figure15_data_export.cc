@@ -19,7 +19,7 @@ namespace {
 /// Build an ORDER_LINE-shaped table spanning `num_blocks` blocks and freeze
 /// the first `percent_frozen`% of them.
 std::unique_ptr<Engine> BuildOrderLineTable(uint32_t num_blocks, uint32_t percent_frozen,
-                                            storage::SqlTable **out) {
+                                            catalog::SqlTable **out) {
   auto engine = std::make_unique<Engine>();
   auto *table = engine->catalog.GetTable(
       engine->catalog.CreateTable("order_line", workload::tpcc::OrderLineSchema()));
@@ -76,7 +76,7 @@ int main() {
               "vectorized-wire", "postgres-wire");
 
   for (const uint32_t frozen : {0u, 1u, 5u, 10u, 20u, 40u, 60u, 80u, 100u}) {
-    mainline::storage::SqlTable *table = nullptr;
+    mainline::catalog::SqlTable *table = nullptr;
     auto engine = BuildOrderLineTable(num_blocks, frozen, &table);
     // Generous client buffer: raw data is ~1 MB/block; text encodings bloat.
     ClientBuffer client(static_cast<uint64_t>(num_blocks + 4) * (4u << 20));

@@ -32,10 +32,10 @@ namespace {
 
 /// Generate LINEITEM and freeze the first `percent_frozen`% of its blocks.
 std::unique_ptr<Engine> BuildLineItem(uint64_t rows, uint64_t txn_rows,
-                                      uint32_t percent_frozen, storage::SqlTable **out,
+                                      uint32_t percent_frozen, catalog::SqlTable **out,
                                       uint64_t *frozen_out) {
   auto engine = std::make_unique<Engine>();
-  storage::SqlTable *table = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *table = workload::tpch::GenerateLineItem(
       &engine->catalog, &engine->txn_manager, rows, /*seed=*/7, txn_rows);
   engine->gc.FullGC();
 
@@ -75,7 +75,7 @@ int main() {
   bool all_match = true;
   std::vector<std::string> sweep_lines;
   for (const uint32_t frozen_pct : {0u, 50u, 100u}) {
-    storage::SqlTable *table = nullptr;
+    catalog::SqlTable *table = nullptr;
     uint64_t frozen_blocks = 0;
     auto engine = BuildLineItem(rows, txn_rows, frozen_pct, &table, &frozen_blocks);
     execution::QueryRunner runner(&engine->txn_manager);

@@ -28,18 +28,18 @@ namespace {
 /// Generate LINEITEM + ORDERS and freeze the first `percent_frozen`% of each
 /// table's blocks.
 std::unique_ptr<Engine> BuildTables(uint64_t rows, uint64_t num_orders, uint64_t txn_rows,
-                                    uint32_t percent_frozen, storage::SqlTable **lineitem_out,
-                                    storage::SqlTable **orders_out, uint64_t *frozen_out) {
+                                    uint32_t percent_frozen, catalog::SqlTable **lineitem_out,
+                                    catalog::SqlTable **orders_out, uint64_t *frozen_out) {
   auto engine = std::make_unique<Engine>();
-  storage::SqlTable *lineitem = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *lineitem = workload::tpch::GenerateLineItem(
       &engine->catalog, &engine->txn_manager, rows, /*seed=*/7, txn_rows);
-  storage::SqlTable *orders = workload::tpch::GenerateOrders(
+  catalog::SqlTable *orders = workload::tpch::GenerateOrders(
       &engine->catalog, &engine->txn_manager, num_orders, /*seed=*/11, txn_rows);
   engine->gc.FullGC();
 
   transform::BlockTransformer transformer(&engine->txn_manager, &engine->gc);
   uint64_t frozen = 0;
-  for (storage::SqlTable *table : {lineitem, orders}) {
+  for (catalog::SqlTable *table : {lineitem, orders}) {
     storage::DataTable &dt = table->UnderlyingTable();
     const auto blocks = dt.Blocks();
     const auto to_freeze = static_cast<size_t>(blocks.size() * percent_frozen / 100);
@@ -77,8 +77,8 @@ int main() {
   bool all_match = true;
   std::vector<std::string> sweep_lines;
   for (const uint32_t frozen_pct : {0u, 50u, 100u}) {
-    storage::SqlTable *lineitem = nullptr;
-    storage::SqlTable *orders = nullptr;
+    catalog::SqlTable *lineitem = nullptr;
+    catalog::SqlTable *orders = nullptr;
     uint64_t frozen_blocks = 0;
     auto engine = BuildTables(rows, num_orders, txn_rows, frozen_pct, &lineitem, &orders,
                               &frozen_blocks);

@@ -64,7 +64,7 @@ using workload::tpch::O_ORDERPRIORITY;
 const std::vector<uint16_t> kQ6Projection = {L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT,
                                              L_SHIPDATE};
 
-double FusedQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+double FusedQ6(catalog::SqlTable *table, transaction::TransactionContext *txn,
                const execution::tpch::Q6Params &params) {
   TableScanner scanner(table, txn, kQ6Projection);
   const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
@@ -111,8 +111,8 @@ const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY}
 const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
                                                       L_RECEIPTDATE, L_SHIPMODE};
 
-std::vector<execution::tpch::Q12Row> FusedQ12(storage::SqlTable *orders,
-                                              storage::SqlTable *lineitem,
+std::vector<execution::tpch::Q12Row> FusedQ12(catalog::SqlTable *orders,
+                                              catalog::SqlTable *lineitem,
                                               transaction::TransactionContext *txn,
                                               const execution::tpch::Q12Params &params) {
   // Build: inline JoinHashTable over ORDERS, payload = urgent/high bit.
@@ -220,16 +220,16 @@ std::vector<execution::tpch::Q12Row> FusedQ12(storage::SqlTable *orders,
 /// Generate LINEITEM + ORDERS and freeze every block of both tables.
 std::unique_ptr<Engine> BuildFrozenTables(uint64_t rows, uint64_t num_orders,
                                           uint64_t txn_rows,
-                                          storage::SqlTable **lineitem_out,
-                                          storage::SqlTable **orders_out) {
+                                          catalog::SqlTable **lineitem_out,
+                                          catalog::SqlTable **orders_out) {
   auto engine = std::make_unique<Engine>();
-  storage::SqlTable *lineitem = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *lineitem = workload::tpch::GenerateLineItem(
       &engine->catalog, &engine->txn_manager, rows, /*seed=*/7, txn_rows);
-  storage::SqlTable *orders = workload::tpch::GenerateOrders(
+  catalog::SqlTable *orders = workload::tpch::GenerateOrders(
       &engine->catalog, &engine->txn_manager, num_orders, /*seed=*/11, txn_rows);
   engine->gc.FullGC();
   transform::BlockTransformer transformer(&engine->txn_manager, &engine->gc);
-  for (storage::SqlTable *table : {lineitem, orders}) {
+  for (catalog::SqlTable *table : {lineitem, orders}) {
     storage::DataTable &dt = table->UnderlyingTable();
     for (storage::RawBlock *block : dt.Blocks()) {
       transformer.ProcessGroup(&dt, {block}, nullptr);
@@ -253,8 +253,8 @@ int main() {
   const int64_t reps = EnvInt("MAINLINE_F18_REPS", 3);
   const std::vector<uint32_t> thread_list = EnvThreadList("MAINLINE_F18_THREADS");
 
-  storage::SqlTable *lineitem = nullptr;
-  storage::SqlTable *orders = nullptr;
+  catalog::SqlTable *lineitem = nullptr;
+  catalog::SqlTable *orders = nullptr;
   auto engine = BuildFrozenTables(rows, num_orders, /*txn_rows=*/10000, &lineitem, &orders);
   execution::QueryRunner runner(&engine->txn_manager);
 

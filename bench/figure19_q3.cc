@@ -32,20 +32,20 @@ namespace {
 /// the first join edge drops rows like real (filtered) data would.
 std::unique_ptr<Engine> BuildFrozenTables(uint64_t rows, uint64_t num_orders,
                                           uint64_t num_customers, uint64_t txn_rows,
-                                          storage::SqlTable **customer_out,
-                                          storage::SqlTable **orders_out,
-                                          storage::SqlTable **lineitem_out) {
+                                          catalog::SqlTable **customer_out,
+                                          catalog::SqlTable **orders_out,
+                                          catalog::SqlTable **lineitem_out) {
   auto engine = std::make_unique<Engine>();
-  storage::SqlTable *lineitem = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *lineitem = workload::tpch::GenerateLineItem(
       &engine->catalog, &engine->txn_manager, rows, /*seed=*/7, txn_rows);
-  storage::SqlTable *orders = workload::tpch::GenerateOrders(
+  catalog::SqlTable *orders = workload::tpch::GenerateOrders(
       &engine->catalog, &engine->txn_manager, num_orders, /*seed=*/11, txn_rows, "orders",
       num_customers + num_customers / 2);
-  storage::SqlTable *customer = workload::tpch::GenerateCustomer(
+  catalog::SqlTable *customer = workload::tpch::GenerateCustomer(
       &engine->catalog, &engine->txn_manager, num_customers, /*seed=*/17, txn_rows);
   engine->gc.FullGC();
   transform::BlockTransformer transformer(&engine->txn_manager, &engine->gc);
-  for (storage::SqlTable *table : {lineitem, orders, customer}) {
+  for (catalog::SqlTable *table : {lineitem, orders, customer}) {
     storage::DataTable &dt = table->UnderlyingTable();
     for (storage::RawBlock *block : dt.Blocks()) {
       transformer.ProcessGroup(&dt, {block}, nullptr);
@@ -76,9 +76,9 @@ int main() {
   // Throughput normalizes by every row the query touches: all three scans.
   const uint64_t scanned = rows + num_orders + num_customers;
 
-  storage::SqlTable *customer = nullptr;
-  storage::SqlTable *orders = nullptr;
-  storage::SqlTable *lineitem = nullptr;
+  catalog::SqlTable *customer = nullptr;
+  catalog::SqlTable *orders = nullptr;
+  catalog::SqlTable *lineitem = nullptr;
   auto engine = BuildFrozenTables(rows, num_orders, num_customers, txn_rows, &customer,
                                   &orders, &lineitem);
   execution::QueryRunner runner(&engine->txn_manager);

@@ -39,7 +39,7 @@ int main() {
   gc::GarbageCollector gc(&txn_manager);
 
   std::printf("generating LINEITEM...\n");
-  storage::SqlTable *lineitem =
+  catalog::SqlTable *lineitem =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, 500000);
   gc.FullGC();
 

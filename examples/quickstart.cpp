@@ -25,7 +25,7 @@ int main() {
   catalog::Schema schema({{"id", catalog::TypeId::kBigInt},
                           {"name", catalog::TypeId::kVarchar},
                           {"balance", catalog::TypeId::kDecimal}});
-  storage::SqlTable *accounts = catalog.GetTable(catalog.CreateTable("accounts", schema));
+  catalog::SqlTable *accounts = catalog.GetTable(catalog.CreateTable("accounts", schema));
 
   // --- insert some rows transactionally ------------------------------------
   const auto initializer = accounts->FullInitializer();

@@ -87,7 +87,7 @@ int main(int argc, char **argv) {
   std::printf("\n%-12s %8s %8s %8s %8s\n", "table", "blocks", "frozen", "cooling", "hot");
   struct {
     const char *name;
-    storage::SqlTable *table;
+    catalog::SqlTable *table;
   } tables[] = {{"order", db.order},     {"order_line", db.order_line},
                 {"history", db.history}, {"item", db.item},
                 {"stock", db.stock},     {"customer", db.customer}};

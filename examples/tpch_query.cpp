@@ -54,8 +54,8 @@ int64_t EnvInt(const char *name, int64_t def) {
 /// Run Q1 + Q6 + Q12 + Q14 + Q3 on all three engines, print the result
 /// rows, and verify the engines agree bit-exactly.
 /// \return true if every aggregate matched.
-bool RunAndCheck(QueryRunner *runner, storage::SqlTable *table, storage::SqlTable *orders,
-                 storage::SqlTable *part, storage::SqlTable *customer, const char *label) {
+bool RunAndCheck(QueryRunner *runner, catalog::SqlTable *table, catalog::SqlTable *orders,
+                 catalog::SqlTable *part, catalog::SqlTable *customer, const char *label) {
   const auto q1 = runner->RunQ1(table);
   const auto q1_ref = runner->RunQ1(table, {}, ExecMode::kScalar);
   const auto q1_par = runner->RunQ1(table, {}, ExecMode::kParallel);
@@ -145,16 +145,16 @@ int main(int argc, char **argv) {
       static_cast<unsigned long long>(rows), static_cast<unsigned long long>(num_orders),
       static_cast<unsigned long long>(num_parts),
       static_cast<unsigned long long>(num_customers));
-  storage::SqlTable *lineitem =
+  catalog::SqlTable *lineitem =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, rows, /*seed=*/7, txn_rows);
   // A third of the order custkeys point past the customer table, so Q3's
   // first join edge has dangling FKs to drop, like the test matrix.
-  storage::SqlTable *orders =
+  catalog::SqlTable *orders =
       workload::tpch::GenerateOrders(&catalog, &txn_manager, num_orders, /*seed=*/11, txn_rows,
                                      "orders", num_customers + num_customers / 2);
-  storage::SqlTable *part =
+  catalog::SqlTable *part =
       workload::tpch::GeneratePart(&catalog, &txn_manager, num_parts, /*seed=*/13, txn_rows);
-  storage::SqlTable *customer = workload::tpch::GenerateCustomer(
+  catalog::SqlTable *customer = workload::tpch::GenerateCustomer(
       &catalog, &txn_manager, num_customers, /*seed=*/17, txn_rows);
   gc.FullGC();
 

@@ -10,19 +10,19 @@ table_oid_t Catalog::CreateTable(const std::string &name, const Schema &schema) 
   common::SpinLatch::ScopedSpinLatch guard(&latch_);
   MAINLINE_ASSERT(table_names_.find(name) == table_names_.end(), "table already exists");
   const table_oid_t oid(next_table_oid_++);
-  tables_.emplace(oid, TableEntry{name, std::make_unique<storage::SqlTable>(
+  tables_.emplace(oid, TableEntry{name, std::make_unique<catalog::SqlTable>(
                                             block_store_, schema, oid)});
   table_names_.emplace(name, oid);
   return oid;
 }
 
-storage::SqlTable *Catalog::GetTable(table_oid_t oid) {
+catalog::SqlTable *Catalog::GetTable(table_oid_t oid) {
   common::SpinLatch::ScopedSpinLatch guard(&latch_);
   const auto it = tables_.find(oid);
   return it == tables_.end() ? nullptr : it->second.table.get();
 }
 
-storage::SqlTable *Catalog::GetTable(const std::string &name) {
+catalog::SqlTable *Catalog::GetTable(const std::string &name) {
   common::SpinLatch::ScopedSpinLatch guard(&latch_);
   const auto it = table_names_.find(name);
   return it == table_names_.end() ? nullptr : tables_.at(it->second).table.get();

@@ -11,7 +11,7 @@
 #include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "index/index.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 
 namespace mainline::catalog {
 
@@ -30,10 +30,10 @@ class Catalog {
   table_oid_t CreateTable(const std::string &name, const Schema &schema);
 
   /// \return the table with the given oid, or nullptr.
-  storage::SqlTable *GetTable(table_oid_t oid);
+  catalog::SqlTable *GetTable(table_oid_t oid);
 
   /// \return the table with the given name, or nullptr.
-  storage::SqlTable *GetTable(const std::string &name);
+  catalog::SqlTable *GetTable(const std::string &name);
 
   /// \return oid for `name`, or table_oid_t(0) if absent.
   table_oid_t GetTableOid(const std::string &name);
@@ -54,7 +54,7 @@ class Catalog {
  private:
   struct TableEntry {
     std::string name;
-    std::unique_ptr<storage::SqlTable> table;
+    std::unique_ptr<catalog::SqlTable> table;
   };
   struct IndexEntry {
     std::string name;

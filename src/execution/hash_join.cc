@@ -21,7 +21,7 @@ void JoinHashTable::Partition::BuildFrom(const std::vector<JoinEntry> &entries) 
   }
 }
 
-JoinHashTable JoinHashTable::Build(storage::SqlTable *table,
+JoinHashTable JoinHashTable::Build(catalog::SqlTable *table,
                                    transaction::TransactionContext *txn,
                                    const std::vector<uint16_t> &projection,
                                    const BuildEmitFn &emit, common::WorkerPool *pool,

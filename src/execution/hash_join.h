@@ -10,7 +10,7 @@
 #include "common/worker_pool.h"
 #include "execution/column_vector_batch.h"
 #include "execution/table_scanner.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution {
@@ -71,7 +71,7 @@ class JoinHashTable {
   /// the calling thread. `txn` must stay read-only while the build runs
   /// (scan workers share it).
   /// \param stats accumulates the build scan's counters (may be nullptr)
-  static JoinHashTable Build(storage::SqlTable *table, transaction::TransactionContext *txn,
+  static JoinHashTable Build(catalog::SqlTable *table, transaction::TransactionContext *txn,
                              const std::vector<uint16_t> &projection, const BuildEmitFn &emit,
                              common::WorkerPool *pool, ScanStats *stats = nullptr);
 

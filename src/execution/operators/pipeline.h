@@ -18,7 +18,7 @@ namespace mainline::execution::op {
 /// one's successor, so construction order is chain order.
 class Pipeline {
  public:
-  Pipeline(storage::SqlTable *table, std::vector<uint16_t> projection)
+  Pipeline(catalog::SqlTable *table, std::vector<uint16_t> projection)
       : source_(table, std::move(projection)) {}
 
   DISALLOW_COPY_AND_MOVE(Pipeline)
@@ -110,7 +110,7 @@ class PhysicalPlan {
 
   DISALLOW_COPY_AND_MOVE(PhysicalPlan)
 
-  Pipeline *AddPipeline(storage::SqlTable *table, std::vector<uint16_t> projection) {
+  Pipeline *AddPipeline(catalog::SqlTable *table, std::vector<uint16_t> projection) {
     pipelines_.push_back(std::make_unique<Pipeline>(table, std::move(projection)));
     return pipelines_.back().get();
   }
@@ -167,7 +167,7 @@ class PipelineBuilder {
  public:
   explicit PipelineBuilder(PhysicalPlan *plan) : plan_(plan) {}
 
-  PipelineBuilder &Scan(storage::SqlTable *table, std::vector<uint16_t> projection) {
+  PipelineBuilder &Scan(catalog::SqlTable *table, std::vector<uint16_t> projection) {
     current_ = plan_->AddPipeline(table, std::move(projection));
     return *this;
   }

@@ -8,7 +8,7 @@
 #include "common/worker_pool.h"
 #include "execution/operators/operator.h"
 #include "execution/table_scanner.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution::op {
@@ -28,7 +28,7 @@ class ScanSource {
   /// \param table table to scan
   /// \param projection schema column positions, sorted ascending and
   ///        duplicate-free (catalog::Schema::ResolveColumns produces this)
-  ScanSource(storage::SqlTable *table, std::vector<uint16_t> projection)
+  ScanSource(catalog::SqlTable *table, std::vector<uint16_t> projection)
       : table_(table), projection_(std::move(projection)) {}
 
   DISALLOW_COPY_AND_MOVE(ScanSource)
@@ -52,7 +52,7 @@ class ScanSource {
            PipelineProfile *profile = nullptr);
 
  private:
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
   std::vector<uint16_t> projection_;
 };
 

@@ -6,7 +6,7 @@
 
 namespace mainline::execution {
 
-ParallelTableScanner::ParallelTableScanner(storage::SqlTable *table,
+ParallelTableScanner::ParallelTableScanner(catalog::SqlTable *table,
                                            transaction::TransactionContext *txn,
                                            std::vector<uint16_t> projection)
     : table_(table),

@@ -11,7 +11,7 @@
 #include "common/worker_pool.h"
 #include "execution/column_vector_batch.h"
 #include "execution/table_scanner.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution {
@@ -47,7 +47,7 @@ class ParallelTableScanner {
   ///        read-only for the duration of the scan, since workers share it
   /// \param projection schema column positions, sorted ascending and
   ///        duplicate-free (catalog::Schema::ResolveColumns produces this)
-  ParallelTableScanner(storage::SqlTable *table, transaction::TransactionContext *txn,
+  ParallelTableScanner(catalog::SqlTable *table, transaction::TransactionContext *txn,
                        std::vector<uint16_t> projection);
 
   DISALLOW_COPY_AND_MOVE(ParallelTableScanner)
@@ -89,7 +89,7 @@ class ParallelTableScanner {
   /// Claim morsels from the shared cursor until the table is exhausted.
   void WorkerLoop(size_t worker_index, const ConsumeFn &consume) EXCLUDES(stats_latch_);
 
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
   transaction::TransactionContext *txn_;
   std::vector<uint16_t> projection_;
   std::vector<storage::RawBlock *> blocks_;

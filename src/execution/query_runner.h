@@ -8,7 +8,7 @@
 #include "common/macros.h"
 #include "common/worker_pool.h"
 #include "execution/tpch_queries.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::execution {
@@ -89,7 +89,7 @@ class QueryRunner {
     ScanStats stats;
   };
 
-  Q1Result RunQ1(storage::SqlTable *table, const tpch::Q1Params &params = {},
+  Q1Result RunQ1(catalog::SqlTable *table, const tpch::Q1Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q1Result>(mode, [&](auto *txn, auto *pool, Q1Result *result) {
       result->rows = mode == ExecMode::kScalar
@@ -99,7 +99,7 @@ class QueryRunner {
     });
   }
 
-  Q6Result RunQ6(storage::SqlTable *table, const tpch::Q6Params &params = {},
+  Q6Result RunQ6(catalog::SqlTable *table, const tpch::Q6Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q6Result>(mode, [&](auto *txn, auto *pool, Q6Result *result) {
       result->revenue = mode == ExecMode::kScalar
@@ -109,7 +109,7 @@ class QueryRunner {
     });
   }
 
-  Q12Result RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+  Q12Result RunQ12(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                    const tpch::Q12Params &params = {}, ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q12Result>(mode, [&](auto *txn, auto *pool, Q12Result *result) {
       result->rows =
@@ -120,7 +120,7 @@ class QueryRunner {
     });
   }
 
-  Q14Result RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+  Q14Result RunQ14(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                    const tpch::Q14Params &params = {}, ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q14Result>(mode, [&](auto *txn, auto *pool, Q14Result *result) {
       result->promo_revenue =
@@ -131,8 +131,8 @@ class QueryRunner {
     });
   }
 
-  Q3Result RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
-                 storage::SqlTable *lineitem, const tpch::Q3Params &params = {},
+  Q3Result RunQ3(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                 catalog::SqlTable *lineitem, const tpch::Q3Params &params = {},
                  ExecMode mode = ExecMode::kVectorized) {
     return Execute<Q3Result>(mode, [&](auto *txn, auto *pool, Q3Result *result) {
       result->rows =

@@ -8,7 +8,7 @@
 
 namespace mainline::execution {
 
-TableScanner::TableScanner(storage::SqlTable *table, transaction::TransactionContext *txn,
+TableScanner::TableScanner(catalog::SqlTable *table, transaction::TransactionContext *txn,
                            std::vector<uint16_t> projection)
     : table_(table),
       txn_(txn),
@@ -37,7 +37,7 @@ uint16_t TableScanner::BatchIndex(uint16_t schema_pos) const {
   return ProjectionIndexOf(projection_, schema_pos);
 }
 
-bool TableScanner::ScanBlock(storage::SqlTable *table, transaction::TransactionContext *txn,
+bool TableScanner::ScanBlock(catalog::SqlTable *table, transaction::TransactionContext *txn,
                              const std::vector<uint16_t> &projection, storage::RawBlock *block,
                              ColumnVectorBatch *out, ScanStats *stats) {
   storage::DataTable &data_table = table->UnderlyingTable();

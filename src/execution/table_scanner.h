@@ -5,7 +5,7 @@
 
 #include "common/macros.h"
 #include "execution/column_vector_batch.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution {
@@ -52,7 +52,7 @@ class TableScanner {
   /// \param projection schema column positions to expose; must be sorted
   ///        ascending and duplicate-free (catalog::Schema::ResolveColumns
   ///        produces this shape from column names)
-  TableScanner(storage::SqlTable *table, transaction::TransactionContext *txn,
+  TableScanner(catalog::SqlTable *table, transaction::TransactionContext *txn,
                std::vector<uint16_t> projection);
 
   DISALLOW_COPY_AND_MOVE(TableScanner)
@@ -68,7 +68,7 @@ class TableScanner {
   /// both paths only read transaction state.
   /// \return true if `out` now holds a non-empty batch (empty blocks still
   ///         count toward `stats`' block counters).
-  static bool ScanBlock(storage::SqlTable *table, transaction::TransactionContext *txn,
+  static bool ScanBlock(catalog::SqlTable *table, transaction::TransactionContext *txn,
                         const std::vector<uint16_t> &projection, storage::RawBlock *block,
                         ColumnVectorBatch *out, ScanStats *stats);
 
@@ -80,7 +80,7 @@ class TableScanner {
   uint16_t BatchIndex(uint16_t schema_pos) const;
 
  private:
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
   transaction::TransactionContext *txn_;
   std::vector<uint16_t> projection_;
   std::vector<storage::RawBlock *> blocks_;

@@ -104,7 +104,7 @@ double FinalizeQ14(double total_revenue, double promo_revenue) {
 // result identical either way (see the header).
 // ---------------------------------------------------------------------------
 
-std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
+std::vector<Q1Row> RunQ1Plan(catalog::SqlTable *table, transaction::TransactionContext *txn,
                              const Q1Params &params, common::WorkerPool *pool,
                              ScanStats *stats, op::PlanProfile *profile) {
   const uint16_t qty = ProjectionIndexOf(kQ1Projection, L_QUANTITY);
@@ -144,7 +144,7 @@ std::vector<Q1Row> RunQ1Plan(storage::SqlTable *table, transaction::TransactionC
   return rows;
 }
 
-double RunQ6Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6Plan(catalog::SqlTable *table, transaction::TransactionContext *txn,
                  const Q6Params &params, common::WorkerPool *pool, ScanStats *stats,
                  op::PlanProfile *profile) {
   const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
@@ -167,7 +167,7 @@ double RunQ6Plan(storage::SqlTable *table, transaction::TransactionContext *txn,
   return agg->Result().front().values[0].f64;
 }
 
-std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12Plan(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                                transaction::TransactionContext *txn, const Q12Params &params,
                                common::WorkerPool *pool, ScanStats *stats,
                                op::PlanProfile *profile) {
@@ -210,7 +210,7 @@ std::vector<Q12Row> RunQ12Plan(storage::SqlTable *orders, storage::SqlTable *lin
   return rows;
 }
 
-double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14Plan(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                   transaction::TransactionContext *txn, const Q14Params &params,
                   common::WorkerPool *pool, ScanStats *stats, op::PlanProfile *profile) {
   const uint16_t pkey = ProjectionIndexOf(kQ14PartProjection, P_PARTKEY);
@@ -242,8 +242,8 @@ double RunQ14Plan(storage::SqlTable *lineitem, storage::SqlTable *part,
                      agg->Result().front().values[1].f64);
 }
 
-std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *orders,
-                             storage::SqlTable *lineitem,
+std::vector<Q3Row> RunQ3Plan(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                             catalog::SqlTable *lineitem,
                              transaction::TransactionContext *txn, const Q3Params &params,
                              common::WorkerPool *pool, ScanStats *stats,
                              op::PlanProfile *profile) {
@@ -300,62 +300,62 @@ std::vector<Q3Row> RunQ3Plan(storage::SqlTable *customer, storage::SqlTable *ord
 
 }  // namespace
 
-std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
+std::vector<Q1Row> RunQ1(catalog::SqlTable *table, transaction::TransactionContext *txn,
                          const Q1Params &params, ScanStats *stats, op::PlanProfile *profile) {
   return RunQ1Plan(table, txn, params, nullptr, stats, profile);
 }
 
-std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
+std::vector<Q1Row> RunQ1Parallel(catalog::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
                                  common::WorkerPool *pool, ScanStats *stats,
                                  op::PlanProfile *profile) {
   return RunQ1Plan(table, txn, params, pool, stats, profile);
 }
 
-double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6(catalog::SqlTable *table, transaction::TransactionContext *txn,
              const Q6Params &params, ScanStats *stats, op::PlanProfile *profile) {
   return RunQ6Plan(table, txn, params, nullptr, stats, profile);
 }
 
-double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6Parallel(catalog::SqlTable *table, transaction::TransactionContext *txn,
                      const Q6Params &params, common::WorkerPool *pool, ScanStats *stats,
                      op::PlanProfile *profile) {
   return RunQ6Plan(table, txn, params, pool, stats, profile);
 }
 
-std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                            transaction::TransactionContext *txn, const Q12Params &params,
                            ScanStats *stats, op::PlanProfile *profile) {
   return RunQ12Plan(orders, lineitem, txn, params, nullptr, stats, profile);
 }
 
-std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12Parallel(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                                    transaction::TransactionContext *txn,
                                    const Q12Params &params, common::WorkerPool *pool,
                                    ScanStats *stats, op::PlanProfile *profile) {
   return RunQ12Plan(orders, lineitem, txn, params, pool, stats, profile);
 }
 
-double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14(catalog::SqlTable *lineitem, catalog::SqlTable *part,
               transaction::TransactionContext *txn, const Q14Params &params,
               ScanStats *stats, op::PlanProfile *profile) {
   return RunQ14Plan(lineitem, part, txn, params, nullptr, stats, profile);
 }
 
-double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14Parallel(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                       transaction::TransactionContext *txn, const Q14Params &params,
                       common::WorkerPool *pool, ScanStats *stats, op::PlanProfile *profile) {
   return RunQ14Plan(lineitem, part, txn, params, pool, stats, profile);
 }
 
-std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
-                         storage::SqlTable *lineitem, transaction::TransactionContext *txn,
+std::vector<Q3Row> RunQ3(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                         catalog::SqlTable *lineitem, transaction::TransactionContext *txn,
                          const Q3Params &params, ScanStats *stats, op::PlanProfile *profile) {
   return RunQ3Plan(customer, orders, lineitem, txn, params, nullptr, stats, profile);
 }
 
-std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
-                                 storage::SqlTable *lineitem,
+std::vector<Q3Row> RunQ3Parallel(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                                 catalog::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q3Params &params,
                                  common::WorkerPool *pool, ScanStats *stats,
                                  op::PlanProfile *profile) {
@@ -377,7 +377,7 @@ namespace {
 /// each block, so callers can fold per-block partials in block order —
 /// mirroring the pipeline engines' batch boundaries exactly.
 template <typename Visit, typename BlockDone>
-void ScalarScan(storage::SqlTable *table, transaction::TransactionContext *txn,
+void ScalarScan(catalog::SqlTable *table, transaction::TransactionContext *txn,
                 const std::vector<uint16_t> &projection, ScanStats *stats, Visit visit,
                 BlockDone block_done) {
   const storage::ProjectedRowInitializer initializer =
@@ -427,7 +427,7 @@ uint32_t FindOrAddQ1Group(std::vector<Q1Acc> *groups, std::string_view flag,
 
 }  // namespace
 
-std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+std::vector<Q1Row> RunQ1Scalar(catalog::SqlTable *table, transaction::TransactionContext *txn,
                                const Q1Params &params, ScanStats *stats) {
   // Projection indices follow the sorted column order, same as the scanner.
   const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_tax = 3, p_flag = 4, p_status = 5,
@@ -479,7 +479,7 @@ std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::Transactio
   return rows;
 }
 
-double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6Scalar(catalog::SqlTable *table, transaction::TransactionContext *txn,
                    const Q6Params &params, ScanStats *stats) {
   const uint16_t p_qty = 0, p_price = 1, p_disc = 2, p_ship = 3;
   double revenue = 0;
@@ -525,7 +525,7 @@ uint32_t FindOrAddQ12Group(std::vector<Q12Acc> *groups, std::string_view mode) {
 
 }  // namespace
 
-std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12Scalar(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q12Params &params,
                                  ScanStats *stats) {
   // Build: one Select per ORDERS slot, in scan order.
@@ -583,7 +583,7 @@ std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *l
   return rows;
 }
 
-double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14Scalar(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                     transaction::TransactionContext *txn, const Q14Params &params,
                     ScanStats *stats) {
   // Build: payload is the "is PROMO part" bit, as in the plan.
@@ -629,8 +629,8 @@ double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
   return FinalizeQ14(total, promo);
 }
 
-std::vector<Q3Row> RunQ3Scalar(storage::SqlTable *customer, storage::SqlTable *orders,
-                               storage::SqlTable *lineitem,
+std::vector<Q3Row> RunQ3Scalar(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                               catalog::SqlTable *lineitem,
                                transaction::TransactionContext *txn, const Q3Params &params,
                                ScanStats *stats) {
   // Build 1: how many customers of the segment carry each key — the plan's

@@ -7,7 +7,7 @@
 #include "common/worker_pool.h"
 #include "execution/operators/plan_profile.h"
 #include "execution/table_scanner.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution::tpch {
@@ -67,26 +67,26 @@ struct Q6Params {
 /// (l_returnflag, l_linestatus)), run inline. Results are sorted by
 /// (returnflag, linestatus), as the query specifies.
 /// \param stats accumulates scan counters (may be nullptr)
-std::vector<Q1Row> RunQ1(storage::SqlTable *table, transaction::TransactionContext *txn,
+std::vector<Q1Row> RunQ1(catalog::SqlTable *table, transaction::TransactionContext *txn,
                          const Q1Params &params, ScanStats *stats = nullptr,
                          op::PlanProfile *profile = nullptr);
 
 /// Q6 as an operator plan (scan -> three filters -> ungrouped
 /// sum(l_extendedprice * l_discount)), run inline.
-double RunQ6(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6(catalog::SqlTable *table, transaction::TransactionContext *txn,
              const Q6Params &params, ScanStats *stats = nullptr,
              op::PlanProfile *profile = nullptr);
 
 /// The same Q1 plan run morsel-parallel over `pool`'s workers. Bit-exact
 /// with RunQ1 and RunQ1Scalar for any worker count. `txn` must stay
 /// read-only while the plan runs (workers share it).
-std::vector<Q1Row> RunQ1Parallel(storage::SqlTable *table,
+std::vector<Q1Row> RunQ1Parallel(catalog::SqlTable *table,
                                  transaction::TransactionContext *txn, const Q1Params &params,
                                  common::WorkerPool *pool, ScanStats *stats = nullptr,
                                  op::PlanProfile *profile = nullptr);
 
 /// The same Q6 plan run morsel-parallel; same contract as RunQ1Parallel.
-double RunQ6Parallel(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6Parallel(catalog::SqlTable *table, transaction::TransactionContext *txn,
                      const Q6Params &params, common::WorkerPool *pool,
                      ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
@@ -119,14 +119,14 @@ struct Q12Row {
 /// through the date/shipmode filters into a grouped aggregate on l_shipmode.
 /// Run inline. `orders` and `lineitem` must use OrdersSchema()/
 /// LineItemSchema() column positions.
-std::vector<Q12Row> RunQ12(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                            transaction::TransactionContext *txn, const Q12Params &params,
                            ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
 /// The same Q12 plan run morsel-parallel (build scan, partition build, and
 /// probe scan all over `pool`). Bit-exact with RunQ12 and RunQ12Scalar for
 /// any worker count. `txn` must stay read-only while the plan runs.
-std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12Parallel(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                                    transaction::TransactionContext *txn,
                                    const Q12Params &params, common::WorkerPool *pool,
                                    ScanStats *stats = nullptr,
@@ -134,7 +134,7 @@ std::vector<Q12Row> RunQ12Parallel(storage::SqlTable *orders, storage::SqlTable 
 
 /// Scalar tuple-at-a-time Q12 reference: a std::unordered_multimap build over
 /// one Select-per-slot scan of ORDERS, probed one lineitem tuple at a time.
-std::vector<Q12Row> RunQ12Scalar(storage::SqlTable *orders, storage::SqlTable *lineitem,
+std::vector<Q12Row> RunQ12Scalar(catalog::SqlTable *orders, catalog::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q12Params &params,
                                  ScanStats *stats = nullptr);
 
@@ -158,21 +158,21 @@ struct Q14Params {
 /// is 100 * promo_revenue / total_revenue (0 when nothing matched). Run
 /// inline. `lineitem`/`part` must use LineItemSchema()/PartSchema() column
 /// positions.
-double RunQ14(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14(catalog::SqlTable *lineitem, catalog::SqlTable *part,
               transaction::TransactionContext *txn, const Q14Params &params,
               ScanStats *stats = nullptr, op::PlanProfile *profile = nullptr);
 
 /// The same Q14 plan run morsel-parallel. Bit-exact with RunQ14 and
 /// RunQ14Scalar for any worker count. `txn` must stay read-only while the
 /// plan runs.
-double RunQ14Parallel(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14Parallel(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                       transaction::TransactionContext *txn, const Q14Params &params,
                       common::WorkerPool *pool, ScanStats *stats = nullptr,
                       op::PlanProfile *profile = nullptr);
 
 /// Scalar tuple-at-a-time Q14 reference, accumulating the same per-block
 /// partials in the same order as the plan.
-double RunQ14Scalar(storage::SqlTable *lineitem, storage::SqlTable *part,
+double RunQ14Scalar(catalog::SqlTable *lineitem, catalog::SqlTable *part,
                     transaction::TransactionContext *txn, const Q14Params &params,
                     ScanStats *stats = nullptr);
 
@@ -212,16 +212,16 @@ struct Q3Row {
 /// bit-exact against RunQ3Scalar at any worker count, order included. Run
 /// inline. The tables must use CustomerSchema()/OrdersSchema()/
 /// LineItemSchema() column positions.
-std::vector<Q3Row> RunQ3(storage::SqlTable *customer, storage::SqlTable *orders,
-                         storage::SqlTable *lineitem, transaction::TransactionContext *txn,
+std::vector<Q3Row> RunQ3(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                         catalog::SqlTable *lineitem, transaction::TransactionContext *txn,
                          const Q3Params &params, ScanStats *stats = nullptr,
                          op::PlanProfile *profile = nullptr);
 
 /// The same Q3 plan run morsel-parallel (all three pipelines over `pool`).
 /// Bit-exact with RunQ3 and RunQ3Scalar for any worker count. `txn` must
 /// stay read-only while the plan runs.
-std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable *orders,
-                                 storage::SqlTable *lineitem,
+std::vector<Q3Row> RunQ3Parallel(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                                 catalog::SqlTable *lineitem,
                                  transaction::TransactionContext *txn, const Q3Params &params,
                                  common::WorkerPool *pool, ScanStats *stats = nullptr,
                                  op::PlanProfile *profile = nullptr);
@@ -230,8 +230,8 @@ std::vector<Q3Row> RunQ3Parallel(storage::SqlTable *customer, storage::SqlTable 
 /// time, each order's revenue folded over its lineitems in lineitem scan
 /// order, candidates ranked by (revenue DESC, orderdate, scan position) —
 /// the same total order the plan's Top-K sink keeps.
-std::vector<Q3Row> RunQ3Scalar(storage::SqlTable *customer, storage::SqlTable *orders,
-                               storage::SqlTable *lineitem,
+std::vector<Q3Row> RunQ3Scalar(catalog::SqlTable *customer, catalog::SqlTable *orders,
+                               catalog::SqlTable *lineitem,
                                transaction::TransactionContext *txn, const Q3Params &params,
                                ScanStats *stats = nullptr);
 
@@ -239,11 +239,11 @@ std::vector<Q3Row> RunQ3Scalar(storage::SqlTable *customer, storage::SqlTable *o
 /// predicates in scan order, partials per block — the baseline figure16
 /// compares the other engines against, and the oracle the execution tests
 /// demand bit-equal results from.
-std::vector<Q1Row> RunQ1Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+std::vector<Q1Row> RunQ1Scalar(catalog::SqlTable *table, transaction::TransactionContext *txn,
                                const Q1Params &params, ScanStats *stats = nullptr);
 
 /// Scalar tuple-at-a-time Q6 reference.
-double RunQ6Scalar(storage::SqlTable *table, transaction::TransactionContext *txn,
+double RunQ6Scalar(catalog::SqlTable *table, transaction::TransactionContext *txn,
                    const Q6Params &params, ScanStats *stats = nullptr);
 
 }  // namespace mainline::execution::tpch

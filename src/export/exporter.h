@@ -6,7 +6,7 @@
 #include "arrowlite/io.h"
 #include "catalog/schema.h"
 #include "common/macros.h"
-#include "storage/sql_table.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::exporter {
@@ -32,7 +32,7 @@ class Exporter {
   virtual ~Exporter() = default;
 
   /// Export the entire table to the client.
-  virtual ExportResult Export(storage::SqlTable *table,
+  virtual ExportResult Export(catalog::SqlTable *table,
                               transaction::TransactionManager *txn_manager) = 0;
 
   /// \return a short protocol name for reports.

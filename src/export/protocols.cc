@@ -55,7 +55,7 @@ int EncodeText(TypeId type, const byte *value, char *out, size_t out_size) {
 /// through a transactional snapshot. `visit(slot_values, row_from_block)` is
 /// called with a full-row ProjectedRow.
 template <typename Visit>
-std::pair<uint64_t, uint64_t> ForEachRow(storage::SqlTable *table,
+std::pair<uint64_t, uint64_t> ForEachRow(catalog::SqlTable *table,
                                          transaction::TransactionManager *txn_manager,
                                          Visit visit) {
   storage::DataTable &data_table = table->UnderlyingTable();
@@ -185,7 +185,7 @@ std::shared_ptr<arrowlite::RecordBatch> ParsePostgresWire(const catalog::Schema 
 
 }  // namespace
 
-ExportResult PostgresWireExporter::Export(storage::SqlTable *table,
+ExportResult PostgresWireExporter::Export(catalog::SqlTable *table,
                                           transaction::TransactionManager *txn_manager) {
   client_->Reset();
   ExportResult result;
@@ -235,7 +235,7 @@ ExportResult PostgresWireExporter::Export(storage::SqlTable *table,
   return result;
 }
 
-ExportResult VectorizedWireExporter::Export(storage::SqlTable *table,
+ExportResult VectorizedWireExporter::Export(catalog::SqlTable *table,
                                             transaction::TransactionManager *txn_manager) {
   client_->Reset();
   ExportResult result;
@@ -435,7 +435,7 @@ ExportResult VectorizedWireExporter::Export(storage::SqlTable *table,
   return result;
 }
 
-ExportResult ArrowFlightExporter::Export(storage::SqlTable *table,
+ExportResult ArrowFlightExporter::Export(catalog::SqlTable *table,
                                          transaction::TransactionManager *txn_manager) {
   client_->Reset();
   client_batches_.clear();
@@ -477,7 +477,7 @@ ExportResult ArrowFlightExporter::Export(storage::SqlTable *table,
   return result;
 }
 
-ExportResult RdmaExporter::Export(storage::SqlTable *table,
+ExportResult RdmaExporter::Export(catalog::SqlTable *table,
                                   transaction::TransactionManager *txn_manager) {
   client_->Reset();
   ExportResult result;

@@ -16,7 +16,7 @@ class PostgresWireExporter final : public Exporter {
   /// \param client sink standing in for the client connection
   explicit PostgresWireExporter(ClientBuffer *client) : client_(client) {}
 
-  ExportResult Export(storage::SqlTable *table,
+  ExportResult Export(catalog::SqlTable *table,
                       transaction::TransactionManager *txn_manager) override;
   const char *Name() const override { return "postgres-wire"; }
 
@@ -37,7 +37,7 @@ class VectorizedWireExporter final : public Exporter {
  public:
   explicit VectorizedWireExporter(ClientBuffer *client) : client_(client) {}
 
-  ExportResult Export(storage::SqlTable *table,
+  ExportResult Export(catalog::SqlTable *table,
                       transaction::TransactionManager *txn_manager) override;
   const char *Name() const override { return "vectorized-wire"; }
 
@@ -56,7 +56,7 @@ class ArrowFlightExporter final : public Exporter {
  public:
   explicit ArrowFlightExporter(ClientBuffer *client) : client_(client) {}
 
-  ExportResult Export(storage::SqlTable *table,
+  ExportResult Export(catalog::SqlTable *table,
                       transaction::TransactionManager *txn_manager) override;
   const char *Name() const override { return "arrow-flight"; }
 
@@ -79,7 +79,7 @@ class RdmaExporter final : public Exporter {
  public:
   explicit RdmaExporter(ClientBuffer *client) : client_(client) {}
 
-  ExportResult Export(storage::SqlTable *table,
+  ExportResult Export(catalog::SqlTable *table,
                       transaction::TransactionManager *txn_manager) override;
   const char *Name() const override { return "rdma"; }
 

@@ -14,7 +14,7 @@ namespace {
 
 /// Loader-local projection buffer for one table's full row.
 struct RowBuffer {
-  explicit RowBuffer(storage::SqlTable *table)
+  explicit RowBuffer(catalog::SqlTable *table)
       : initializer(table->FullInitializer()), bytes(initializer.ProjectedRowSize() + 8) {}
 
   storage::ProjectedRow *Reset() { return initializer.InitializeRow(bytes.data()); }
@@ -56,11 +56,11 @@ Database::Database(catalog::Catalog *catalog, const Config &config_in) : config(
   item = catalog->GetTable(catalog->CreateTable("item", ItemSchema()));
   stock = catalog->GetTable(catalog->CreateTable("stock", StockSchema()));
 
-  auto mk_hash = [&](const char *name, storage::SqlTable *table) {
+  auto mk_hash = [&](const char *name, catalog::SqlTable *table) {
     catalog->RegisterIndex(name, table->Oid(), std::make_unique<index::HashIndex>());
     return catalog->GetIndex(name);
   };
-  auto mk_btree = [&](const char *name, storage::SqlTable *table) {
+  auto mk_btree = [&](const char *name, catalog::SqlTable *table) {
     catalog->RegisterIndex(name, table->Oid(), std::make_unique<index::BPlusTree>());
     return catalog->GetIndex(name);
   };

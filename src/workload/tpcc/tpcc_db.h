@@ -42,15 +42,15 @@ class Database {
 
   Config config;
 
-  storage::SqlTable *warehouse;
-  storage::SqlTable *district;
-  storage::SqlTable *customer;
-  storage::SqlTable *history;
-  storage::SqlTable *new_order;
-  storage::SqlTable *order;
-  storage::SqlTable *order_line;
-  storage::SqlTable *item;
-  storage::SqlTable *stock;
+  catalog::SqlTable *warehouse;
+  catalog::SqlTable *district;
+  catalog::SqlTable *customer;
+  catalog::SqlTable *history;
+  catalog::SqlTable *new_order;
+  catalog::SqlTable *order;
+  catalog::SqlTable *order_line;
+  catalog::SqlTable *item;
+  catalog::SqlTable *stock;
 
   index::Index *warehouse_pk;
   index::Index *district_pk;

@@ -14,11 +14,11 @@ namespace {
 /// Reusable projection buffer bound to a subset of a table's columns.
 class Projection {
  public:
-  Projection(storage::SqlTable *table, std::vector<uint16_t> cols)
+  Projection(catalog::SqlTable *table, std::vector<uint16_t> cols)
       : initializer_(table->InitializerForColumns(cols)),
         bytes_(initializer_.ProjectedRowSize() + 8) {}
 
-  explicit Projection(storage::SqlTable *table)
+  explicit Projection(catalog::SqlTable *table)
       : initializer_(table->FullInitializer()), bytes_(initializer_.ProjectedRowSize() + 8) {}
 
   storage::ProjectedRow *Reset() { return initializer_.InitializeRow(bytes_.data()); }

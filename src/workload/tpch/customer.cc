@@ -22,14 +22,14 @@ catalog::Schema CustomerSchema() {
   });
 }
 
-storage::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
                                     uint64_t num_customers, uint64_t seed,
                                     uint64_t batch_size, const char *table_name) {
   static const char *kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
                                     "HOUSEHOLD"};
 
-  storage::SqlTable *table =
+  catalog::SqlTable *table =
       catalog->GetTable(catalog->CreateTable(table_name, CustomerSchema()));
   common::Xorshift rng(seed);
   const storage::ProjectedRowInitializer initializer = table->FullInitializer();

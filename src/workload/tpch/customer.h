@@ -35,7 +35,7 @@ catalog::Schema CustomerSchema();
 /// `seed`, never on the batching. `table_name` allows several CUSTOMER-shaped
 /// tables per catalog.
 /// \return the populated table.
-storage::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateCustomer(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
                                     uint64_t num_customers, uint64_t seed = 17,
                                     uint64_t batch_size = 10000,

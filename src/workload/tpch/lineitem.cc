@@ -29,7 +29,7 @@ catalog::Schema LineItemSchema() {
   });
 }
 
-storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
                                     uint64_t num_rows, uint64_t seed, uint64_t batch_size) {
   static const char *kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
@@ -37,7 +37,7 @@ storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
   static const char *kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
   static const char *kFlags[] = {"R", "A", "N"};
 
-  storage::SqlTable *table =
+  catalog::SqlTable *table =
       catalog->GetTable(catalog->CreateTable("lineitem", LineItemSchema()));
   common::Xorshift rng(seed);
   const storage::ProjectedRowInitializer initializer = table->FullInitializer();

@@ -37,7 +37,7 @@ catalog::Schema LineItemSchema();
 /// (0 = everything in a single transaction). The row contents depend only on
 /// `seed`, never on the batching.
 /// \return the populated table.
-storage::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateLineItem(catalog::Catalog *catalog,
                                     transaction::TransactionManager *txn_manager,
                                     uint64_t num_rows, uint64_t seed = 7,
                                     uint64_t batch_size = 10000);

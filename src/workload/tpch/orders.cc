@@ -23,7 +23,7 @@ catalog::Schema OrdersSchema() {
   });
 }
 
-storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateOrders(catalog::Catalog *catalog,
                                   transaction::TransactionManager *txn_manager,
                                   uint64_t num_orders, uint64_t seed, uint64_t batch_size,
                                   const char *table_name, uint64_t num_customers) {
@@ -31,7 +31,7 @@ storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
                                       "5-LOW"};
   static const char *kStatuses[] = {"O", "F", "P"};
 
-  storage::SqlTable *table =
+  catalog::SqlTable *table =
       catalog->GetTable(catalog->CreateTable(table_name, OrdersSchema()));
   common::Xorshift rng(seed);
   const storage::ProjectedRowInitializer initializer = table->FullInitializer();

@@ -37,7 +37,7 @@ catalog::Schema OrdersSchema();
 /// batching. `table_name` allows several ORDERS-shaped tables per catalog
 /// (tests build variants side by side).
 /// \return the populated table.
-storage::SqlTable *GenerateOrders(catalog::Catalog *catalog,
+catalog::SqlTable *GenerateOrders(catalog::Catalog *catalog,
                                   transaction::TransactionManager *txn_manager,
                                   uint64_t num_orders, uint64_t seed = 11,
                                   uint64_t batch_size = 10000,

@@ -24,7 +24,7 @@ catalog::Schema PartSchema() {
   });
 }
 
-storage::SqlTable *GeneratePart(catalog::Catalog *catalog,
+catalog::SqlTable *GeneratePart(catalog::Catalog *catalog,
                                 transaction::TransactionManager *txn_manager,
                                 uint64_t num_parts, uint64_t seed, uint64_t batch_size,
                                 const char *table_name) {
@@ -40,7 +40,7 @@ storage::SqlTable *GeneratePart(catalog::Catalog *catalog,
                                      "beige",     "bisque",   "blanched",   "blush",
                                      "burlywood", "chartreuse", "chiffon",  "coral"};
 
-  storage::SqlTable *table = catalog->GetTable(catalog->CreateTable(table_name, PartSchema()));
+  catalog::SqlTable *table = catalog->GetTable(catalog->CreateTable(table_name, PartSchema()));
   common::Xorshift rng(seed);
   const storage::ProjectedRowInitializer initializer = table->FullInitializer();
   std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);

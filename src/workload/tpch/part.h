@@ -35,7 +35,7 @@ catalog::Schema PartSchema();
 /// single transaction); the row contents depend only on `seed`, never on the
 /// batching. `table_name` allows several PART-shaped tables per catalog.
 /// \return the populated table.
-storage::SqlTable *GeneratePart(catalog::Catalog *catalog,
+catalog::SqlTable *GeneratePart(catalog::Catalog *catalog,
                                 transaction::TransactionManager *txn_manager,
                                 uint64_t num_parts, uint64_t seed = 13,
                                 uint64_t batch_size = 10000, const char *table_name = "part");

@@ -61,8 +61,8 @@ class ExecutionTest : public ::testing::TestWithParam<GatherMode> {
     return blocks * slots + slots / 2;
   }
 
-  storage::SqlTable *Generate(uint64_t rows) {
-    storage::SqlTable *table = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *Generate(uint64_t rows) {
+    catalog::SqlTable *table = workload::tpch::GenerateLineItem(
         &catalog_, &txn_manager_, rows, /*seed=*/7, /*batch_size=*/4096);
     gc_.FullGC();
     return table;
@@ -70,7 +70,7 @@ class ExecutionTest : public ::testing::TestWithParam<GatherMode> {
 
   /// Both queries, both engines, same snapshot semantics: results must be
   /// bit-identical (floating-point == on every aggregate).
-  void ExpectEnginesAgree(storage::SqlTable *table, ScanStats *q6_stats_out = nullptr) {
+  void ExpectEnginesAgree(catalog::SqlTable *table, ScanStats *q6_stats_out = nullptr) {
     QueryRunner runner(&txn_manager_);
     const auto q1_vec = runner.RunQ1(table);
     const auto q1_scalar = runner.RunQ1(table, {}, ExecMode::kScalar);
@@ -99,7 +99,7 @@ class ExecutionTest : public ::testing::TestWithParam<GatherMode> {
 };
 
 TEST_P(ExecutionTest, ProjectionResolutionAndScannerView) {
-  storage::SqlTable *table = Generate(2000);
+  catalog::SqlTable *table = Generate(2000);
   const catalog::Schema &schema = table->GetSchema();
 
   // Name-based projection resolution: positions come back sorted ascending.
@@ -137,7 +137,7 @@ TEST_P(ExecutionTest, ProjectionResolutionAndScannerView) {
 }
 
 TEST_P(ExecutionTest, QueriesMatchScalarAcrossFreezeStates) {
-  storage::SqlTable *table = Generate(RowsForBlocks(2));
+  catalog::SqlTable *table = Generate(RowsForBlocks(2));
   storage::DataTable &dt = table->UnderlyingTable();
   ASSERT_GT(dt.NumBlocks(), 2u);
 
@@ -177,7 +177,7 @@ TEST_P(ExecutionTest, QueriesMatchScalarAcrossFreezeStates) {
 /// access paths.
 TEST_P(ExecutionTest, VectorOpsPrimitivesMatchScalarReference) {
   namespace ops = execution::vector_ops;
-  storage::SqlTable *table = Generate(4000);
+  catalog::SqlTable *table = Generate(4000);
   storage::DataTable &dt = table->UnderlyingTable();
 
   const auto run = [&](const char *label) {
@@ -251,7 +251,7 @@ TEST_P(ExecutionTest, VectorOpsPrimitivesMatchScalarReference) {
 }
 
 TEST_P(ExecutionTest, Q1AggregatesAreInternallyConsistent) {
-  storage::SqlTable *table = Generate(5000);
+  catalog::SqlTable *table = Generate(5000);
   QueryRunner runner(&txn_manager_);
 
   // With the cutoff above the generator's date range, Q1 groups partition
@@ -286,7 +286,7 @@ TEST_P(ExecutionTest, Q1AggregatesAreInternallyConsistent) {
 /// SAME transaction, so any MVCC inconsistency on either access path shows
 /// up as a bit-level divergence.
 TEST_P(ExecutionTest, Q6StaysConsistentUnderConcurrentWritesAndTransform) {
-  storage::SqlTable *table = Generate(RowsForBlocks(1));
+  catalog::SqlTable *table = Generate(RowsForBlocks(1));
   storage::DataTable &dt = table->UnderlyingTable();
 
   // Start fully frozen so the scan begins on the zero-copy path.
@@ -401,7 +401,7 @@ TEST(FrozenBatchFieldTypingTest, MixedGatherAndDictionaryColumnsTypeIndependentl
   gc::GarbageCollector gc(&txn_manager);
   transform::BlockTransformer transformer(&txn_manager, &gc, GatherMode::kVarlenGather);
 
-  storage::SqlTable *table =
+  catalog::SqlTable *table =
       workload::tpch::GenerateLineItem(&catalog, &txn_manager, 500, /*seed=*/7,
                                        /*batch_size=*/0);
   gc.FullGC();

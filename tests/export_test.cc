@@ -59,7 +59,7 @@ class ExportTest : public ::testing::TestWithParam<bool /*frozen*/> {
   catalog::Catalog catalog_;
   transaction::TransactionManager txn_manager_;
   gc::GarbageCollector gc_;
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
   uint32_t frozen_blocks_ = 0;
 };
 

@@ -73,11 +73,11 @@ class HashJoinTest : public ::testing::TestWithParam<GatherMode> {
   }
 
   /// A tiny build-side table for operator-level tests: (key, payload) pairs.
-  storage::SqlTable *MakeBuildTable(const std::string &name,
+  catalog::SqlTable *MakeBuildTable(const std::string &name,
                                     const std::vector<JoinEntry> &entries) {
     const catalog::Schema schema{{{"key", catalog::TypeId::kBigInt},
                                   {"payload", catalog::TypeId::kBigInt}}};
-    storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, schema));
+    catalog::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, schema));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
     auto *txn = txn_manager_.BeginTransaction();
@@ -92,7 +92,7 @@ class HashJoinTest : public ::testing::TestWithParam<GatherMode> {
   }
 
   /// Build a JoinHashTable from a (key, payload) table over `pool`.
-  JoinHashTable Build(storage::SqlTable *table, common::WorkerPool *pool,
+  JoinHashTable Build(catalog::SqlTable *table, common::WorkerPool *pool,
                       ScanStats *stats = nullptr) {
     auto *txn = txn_manager_.BeginTransaction();
     JoinHashTable result = JoinHashTable::Build(
@@ -141,8 +141,8 @@ class HashJoinTest : public ::testing::TestWithParam<GatherMode> {
   transform::AccessObserver observer_;
   transform::BlockTransformer transformer_;
   transform::TransformPipeline pipeline_;
-  storage::SqlTable *lineitem_ = nullptr;
-  storage::SqlTable *orders_ = nullptr;
+  catalog::SqlTable *lineitem_ = nullptr;
+  catalog::SqlTable *orders_ = nullptr;
 };
 
 /// Duplicate build keys: every copy must surface on a probe, in the same
@@ -154,7 +154,7 @@ TEST_P(HashJoinTest, BuildSideDuplicateKeysAllMatch) {
       entries.push_back({k, static_cast<uint64_t>(k) * 10 + copy});
     }
   }
-  storage::SqlTable *table = MakeBuildTable("dups", entries);
+  catalog::SqlTable *table = MakeBuildTable("dups", entries);
 
   common::WorkerPool pool(4);
   const JoinHashTable inline_build = Build(table, nullptr);
@@ -182,7 +182,7 @@ TEST_P(HashJoinTest, BuildSideDuplicateKeysAllMatch) {
 /// every engine.
 TEST_P(HashJoinTest, EmptyBuildAndProbeSides) {
   // Operator level: an empty build table.
-  storage::SqlTable *empty = MakeBuildTable("empty", {});
+  catalog::SqlTable *empty = MakeBuildTable("empty", {});
   common::WorkerPool pool(2);
   const JoinHashTable table = Build(empty, &pool);
   EXPECT_TRUE(table.Empty());
@@ -197,9 +197,9 @@ TEST_P(HashJoinTest, EmptyBuildAndProbeSides) {
     EXPECT_TRUE(runner.RunQ12(orders_, lineitem_, {}, mode).rows.empty());
   }
 
-  storage::SqlTable *no_lines =
+  catalog::SqlTable *no_lines =
       catalog_.GetTable(catalog_.CreateTable("lineitem_empty", tpch::LineItemSchema()));
-  storage::SqlTable *some_orders =
+  catalog::SqlTable *some_orders =
       tpch::GenerateOrders(&catalog_, &txn_manager_, 500, 11, 0, "orders_filled");
   gc_.FullGC();
   for (const ExecMode mode : {ExecMode::kVectorized, ExecMode::kScalar, ExecMode::kParallel}) {
@@ -217,7 +217,7 @@ TEST_P(HashJoinTest, DuplicateOrdersDoubleTheCounts) {
   gc_.FullGC();
 
   // Clone ORDERS with every row twice (same generator stream, two passes).
-  storage::SqlTable *doubled =
+  catalog::SqlTable *doubled =
       catalog_.GetTable(catalog_.CreateTable("orders_doubled", tpch::OrdersSchema()));
   {
     const auto read_init = orders_->FullInitializer();
@@ -317,7 +317,7 @@ TEST_P(HashJoinTest, QueryRunnerRunsQ12InAllModes) {
   // The stats span the ORDERS build scan and the LINEITEM probe scan.
   uint64_t line_rows = 0, order_rows = 0;
   auto *txn = txn_manager_.BeginTransaction();
-  const auto count_rows = [&](storage::SqlTable *table) {
+  const auto count_rows = [&](catalog::SqlTable *table) {
     const auto init = table->InitializerForColumns({0});
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
     uint64_t n = 0;

@@ -277,11 +277,11 @@ class MetricsProfilingTest : public ::testing::Test {
 
   void FreezeAll() {
     gc_.FullGC();
-    for (storage::SqlTable *table : {lineitem_, orders_, customer_}) {
+    for (catalog::SqlTable *table : {lineitem_, orders_, customer_}) {
       pipeline_.EnqueueTable(&table->UnderlyingTable());
     }
     pipeline_.RunOnce();
-    for (storage::SqlTable *table : {lineitem_, orders_, customer_}) {
+    for (catalog::SqlTable *table : {lineitem_, orders_, customer_}) {
       for (storage::RawBlock *block : table->UnderlyingTable().Blocks()) {
         ASSERT_EQ(block->controller.GetState(), BlockState::kFrozen);
       }
@@ -354,9 +354,9 @@ class MetricsProfilingTest : public ::testing::Test {
   transform::AccessObserver observer_;
   transform::BlockTransformer transformer_;
   transform::TransformPipeline pipeline_;
-  storage::SqlTable *lineitem_ = nullptr;
-  storage::SqlTable *orders_ = nullptr;
-  storage::SqlTable *customer_ = nullptr;
+  catalog::SqlTable *lineitem_ = nullptr;
+  catalog::SqlTable *orders_ = nullptr;
+  catalog::SqlTable *customer_ = nullptr;
 };
 
 TEST_F(MetricsProfilingTest, ProfiledRunsAreBitExactHotAndFrozen) {

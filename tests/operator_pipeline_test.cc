@@ -70,7 +70,7 @@ class OperatorPipelineTest : public ::testing::TestWithParam<GatherMode> {
   ///   id = i, val = (i % 100) / 7.0, val2 = (i % 11) / 100.0,
   ///   date = 9000 + i % 50, date2 = date + i % 3,
   ///   tag = A/B/C by i % 3, tag2 = X/Y by i % 2
-  storage::SqlTable *MakeMicroTable(const char *name, uint64_t rows) {
+  catalog::SqlTable *MakeMicroTable(const char *name, uint64_t rows) {
     const catalog::Schema schema({{"id", catalog::TypeId::kBigInt},
                                   {"val", catalog::TypeId::kDecimal},
                                   {"val2", catalog::TypeId::kDecimal},
@@ -78,7 +78,7 @@ class OperatorPipelineTest : public ::testing::TestWithParam<GatherMode> {
                                   {"date2", catalog::TypeId::kDate},
                                   {"tag", catalog::TypeId::kVarchar},
                                   {"tag2", catalog::TypeId::kVarchar}});
-    storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, schema));
+    catalog::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, schema));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
     static const char *kTags[] = {"A", "B", "C"};
@@ -105,7 +105,7 @@ class OperatorPipelineTest : public ::testing::TestWithParam<GatherMode> {
 
   /// Freeze every block of `table` through the transformation pipeline
   /// (gather mode per test parameter) and assert it took.
-  void Freeze(storage::SqlTable *table) {
+  void Freeze(catalog::SqlTable *table) {
     gc_.FullGC();
     pipeline_.EnqueueTable(&table->UnderlyingTable());
     pipeline_.RunOnce();
@@ -174,9 +174,9 @@ class OperatorPipelineTest : public ::testing::TestWithParam<GatherMode> {
   transform::AccessObserver observer_;
   transform::BlockTransformer transformer_;
   transform::TransformPipeline pipeline_;
-  storage::SqlTable *lineitem_ = nullptr;
-  storage::SqlTable *orders_ = nullptr;
-  storage::SqlTable *part_ = nullptr;
+  catalog::SqlTable *lineitem_ = nullptr;
+  catalog::SqlTable *orders_ = nullptr;
+  catalog::SqlTable *part_ = nullptr;
 };
 
 namespace {
@@ -237,7 +237,7 @@ class CollectOp final : public op::Operator {
 /// or dictionary) path.
 TEST_P(OperatorPipelineTest, FilterPredicatesSelectExpectedRows) {
   constexpr uint64_t kRows = 3000;
-  storage::SqlTable *table = MakeMicroTable("filters", kRows);
+  catalog::SqlTable *table = MakeMicroTable("filters", kRows);
 
   struct Case {
     const char *name;
@@ -321,7 +321,7 @@ TEST_P(OperatorPipelineTest, FilterPredicatesSelectExpectedRows) {
 /// forms, on both access paths.
 TEST_P(OperatorPipelineTest, ProjectComputesDerivedColumns) {
   constexpr uint64_t kRows = 2000;
-  storage::SqlTable *table = MakeMicroTable("project", kRows);
+  catalog::SqlTable *table = MakeMicroTable("project", kRows);
 
   const auto check = [&](const char *label) {
     auto *txn = txn_manager_.BeginTransaction();
@@ -362,7 +362,7 @@ TEST_P(OperatorPipelineTest, JoinBuildAndProbeCompose) {
   // Build side: keys 0..99, key k repeated 1 + k % 3 times, payload 10k + c.
   const catalog::Schema build_schema(
       {{"key", catalog::TypeId::kBigInt}, {"pay", catalog::TypeId::kBigInt}});
-  storage::SqlTable *build_table =
+  catalog::SqlTable *build_table =
       catalog_.GetTable(catalog_.CreateTable("join_build", build_schema));
   {
     const auto init = build_table->FullInitializer();
@@ -381,7 +381,7 @@ TEST_P(OperatorPipelineTest, JoinBuildAndProbeCompose) {
   // Probe side: ids 0..499 probing key id % 150 (a third dangle).
   const catalog::Schema probe_schema(
       {{"id", catalog::TypeId::kBigInt}, {"fk", catalog::TypeId::kBigInt}});
-  storage::SqlTable *probe_table =
+  catalog::SqlTable *probe_table =
       catalog_.GetTable(catalog_.CreateTable("join_probe", probe_schema));
   {
     const auto init = probe_table->FullInitializer();
@@ -428,7 +428,7 @@ TEST_P(OperatorPipelineTest, JoinBuildAndProbeCompose) {
 
   // String payloads: tag in {A} / prefix "A" classify each row, dictionary
   // codes once frozen (per the gather-mode parameter).
-  storage::SqlTable *tagged = MakeMicroTable("join_tagged", 300);
+  catalog::SqlTable *tagged = MakeMicroTable("join_tagged", 300);
   const auto string_payload_check = [&](const op::PayloadSpec &spec, auto expected_bit) {
     auto *txn = txn_manager_.BeginTransaction();
     op::PhysicalPlan plan;
@@ -454,7 +454,7 @@ TEST_P(OperatorPipelineTest, JoinBuildAndProbeCompose) {
                        [](uint64_t i) { return i % 3 == 1 ? 1u : 0u; });
 
   // Empty build side: probing pushes nothing downstream.
-  storage::SqlTable *no_rows =
+  catalog::SqlTable *no_rows =
       catalog_.GetTable(catalog_.CreateTable("join_empty", build_schema));
   auto *txn = txn_manager_.BeginTransaction();
   op::PhysicalPlan plan;
@@ -477,7 +477,7 @@ TEST_P(OperatorPipelineTest, JoinBuildAndProbeCompose) {
 /// straight loop in row order reproduces it bit-exactly.
 TEST_P(OperatorPipelineTest, AggregateGroupedAndUngrouped) {
   constexpr uint64_t kRows = 2500;
-  storage::SqlTable *table = MakeMicroTable("aggregate", kRows);
+  catalog::SqlTable *table = MakeMicroTable("aggregate", kRows);
   ASSERT_EQ(table->UnderlyingTable().NumBlocks(), 1u) << "micro table must stay one block";
 
   struct Manual {
@@ -594,7 +594,7 @@ TEST_P(OperatorPipelineTest, PlansMatchScalarAcrossFreezeStatesAndThreadCounts) 
 
   // ~50% frozen (all three tables): morsels mix zero-copy and
   // materialization.
-  for (storage::SqlTable *table : {lineitem_, orders_, part_}) {
+  for (catalog::SqlTable *table : {lineitem_, orders_, part_}) {
     storage::DataTable &dt = table->UnderlyingTable();
     const std::vector<storage::RawBlock *> blocks = dt.Blocks();
     for (size_t i = 0; i < blocks.size() / 2; i++) {
@@ -608,7 +608,7 @@ TEST_P(OperatorPipelineTest, PlansMatchScalarAcrossFreezeStatesAndThreadCounts) 
   }
 
   // 100% frozen: every pipeline streams zero-copy batches.
-  for (storage::SqlTable *table : {lineitem_, orders_, part_}) {
+  for (catalog::SqlTable *table : {lineitem_, orders_, part_}) {
     Freeze(table);
   }
   for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
@@ -638,7 +638,7 @@ TEST_P(OperatorPipelineTest, QueryRunnerRunsQ14InAllModes) {
 
   uint64_t expected_rows = 0;
   auto *txn = txn_manager_.BeginTransaction();
-  for (storage::SqlTable *table : {lineitem_, part_}) {
+  for (catalog::SqlTable *table : {lineitem_, part_}) {
     const auto init = table->InitializerForColumns({0});
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
     for (auto it = table->begin(); !it.Done(); ++it) {
@@ -655,11 +655,11 @@ TEST_P(OperatorPipelineTest, QueryRunnerRunsQ14InAllModes) {
 /// its zero row.
 TEST_P(OperatorPipelineTest, Q14EmptySidesYieldZero) {
   lineitem_ = tpch::GenerateLineItem(&catalog_, &txn_manager_, 2000, /*seed=*/7, 0);
-  storage::SqlTable *no_parts =
+  catalog::SqlTable *no_parts =
       catalog_.GetTable(catalog_.CreateTable("part_empty", tpch::PartSchema()));
-  storage::SqlTable *no_lines =
+  catalog::SqlTable *no_lines =
       catalog_.GetTable(catalog_.CreateTable("lineitem_empty", tpch::LineItemSchema()));
-  storage::SqlTable *some_parts = tpch::GeneratePart(&catalog_, &txn_manager_, 500, 13, 0);
+  catalog::SqlTable *some_parts = tpch::GeneratePart(&catalog_, &txn_manager_, 500, 13, 0);
   gc_.FullGC();
 
   QueryRunner runner(&txn_manager_, 2);
@@ -846,7 +846,7 @@ class ThrowOnceOp final : public op::Operator {
 TEST_P(OperatorPipelineTest, ChunkPoolShrinksPathologicalCapacity) {
   const catalog::Schema schema(
       {{"id", catalog::TypeId::kBigInt}, {"fk", catalog::TypeId::kBigInt}});
-  storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable("shrink", schema));
+  catalog::SqlTable *table = catalog_.GetTable(catalog_.CreateTable("shrink", schema));
   const auto init = table->FullInitializer();
   std::vector<byte> buffer(init.ProjectedRowSize() + 8);
   auto *txn = txn_manager_.BeginTransaction();
@@ -876,7 +876,7 @@ TEST_P(OperatorPipelineTest, ChunkPoolShrinksPathologicalCapacity) {
 /// pointer dropped), and the table must stay fully scannable afterward.
 TEST_P(OperatorPipelineTest, ScanSurvivesThrowingOperator) {
   constexpr uint64_t kRows = 2000;
-  storage::SqlTable *table = MakeMicroTable("throwing", kRows);
+  catalog::SqlTable *table = MakeMicroTable("throwing", kRows);
 
   const auto check = [&](const char *label) {
     auto *txn = txn_manager_.BeginTransaction();

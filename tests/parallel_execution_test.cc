@@ -55,8 +55,8 @@ class ParallelExecutionTest : public ::testing::TestWithParam<GatherMode> {
     return blocks * slots + slots / 2;
   }
 
-  storage::SqlTable *Generate(uint64_t rows) {
-    storage::SqlTable *table = workload::tpch::GenerateLineItem(
+  catalog::SqlTable *Generate(uint64_t rows) {
+    catalog::SqlTable *table = workload::tpch::GenerateLineItem(
         &catalog_, &txn_manager_, rows, /*seed=*/7, /*batch_size=*/4096);
     gc_.FullGC();
     return table;
@@ -65,7 +65,7 @@ class ParallelExecutionTest : public ::testing::TestWithParam<GatherMode> {
   /// Parallel Q1 + Q6 at `num_threads` against the scalar reference and the
   /// sequential vectorized engine, all inside ONE transaction so every
   /// engine answers from the same snapshot.
-  void ExpectParallelAgrees(storage::SqlTable *table, uint32_t num_threads,
+  void ExpectParallelAgrees(catalog::SqlTable *table, uint32_t num_threads,
                             ScanStats *stats_out = nullptr) {
     common::WorkerPool pool(num_threads);
     auto *txn = txn_manager_.BeginTransaction();
@@ -107,7 +107,7 @@ class ParallelExecutionTest : public ::testing::TestWithParam<GatherMode> {
 };
 
 TEST_P(ParallelExecutionTest, MatchesScalarAcrossFreezeStatesAndThreadCounts) {
-  storage::SqlTable *table = Generate(RowsForBlocks(3));
+  catalog::SqlTable *table = Generate(RowsForBlocks(3));
   storage::DataTable &dt = table->UnderlyingTable();
   ASSERT_GT(dt.NumBlocks(), 3u);
 
@@ -151,7 +151,7 @@ TEST_P(ParallelExecutionTest, MatchesScalarAcrossFreezeStatesAndThreadCounts) {
 /// cursor covers the whole table no matter how many workers race on it.
 TEST_P(ParallelExecutionTest, MorselsCoverEveryBlockExactlyOnce) {
   const uint64_t expect_rows = RowsForBlocks(2);
-  storage::SqlTable *table = Generate(expect_rows);
+  catalog::SqlTable *table = Generate(expect_rows);
 
   auto *txn = txn_manager_.BeginTransaction();
   ParallelTableScanner scanner(
@@ -191,7 +191,7 @@ TEST_P(ParallelExecutionTest, MorselsCoverEveryBlockExactlyOnce) {
 /// SubmitTask rejects (the WorkerPool bugfix this PR regression-tests in
 /// worker_pool_test as well).
 TEST_P(ParallelExecutionTest, DegradesToInlineScanWithoutUsableWorkers) {
-  storage::SqlTable *table = Generate(1000);
+  catalog::SqlTable *table = Generate(1000);
   auto *txn = txn_manager_.BeginTransaction();
 
   uint64_t rows = 0;
@@ -223,7 +223,7 @@ TEST_P(ParallelExecutionTest, DegradesToInlineScanWithoutUsableWorkers) {
 /// Each worker folds its partial at loop exit, so no exit path drops stats.
 TEST_P(ParallelExecutionTest, ShutDownPoolLosesNoScanStats) {
   const uint64_t expect_rows = RowsForBlocks(1);
-  storage::SqlTable *table = Generate(expect_rows);
+  catalog::SqlTable *table = Generate(expect_rows);
   auto *txn = txn_manager_.BeginTransaction();
 
   common::WorkerPool pool(2);
@@ -252,7 +252,7 @@ TEST_P(ParallelExecutionTest, ShutDownPoolLosesNoScanStats) {
 }
 
 TEST_P(ParallelExecutionTest, QueryRunnerParallelModeAgreesAndResizes) {
-  storage::SqlTable *table = Generate(RowsForBlocks(1));
+  catalog::SqlTable *table = Generate(RowsForBlocks(1));
   pipeline_.EnqueueTable(&table->UnderlyingTable());
   pipeline_.RunOnce();
 
@@ -283,7 +283,7 @@ TEST_P(ParallelExecutionTest, QueryRunnerParallelModeAgreesAndResizes) {
 /// transaction: any MVCC violation on any worker shows up as a bit-level
 /// divergence.
 TEST_P(ParallelExecutionTest, Q6ParallelStaysConsistentUnderConcurrentWritesAndTransform) {
-  storage::SqlTable *table = Generate(RowsForBlocks(1));
+  catalog::SqlTable *table = Generate(RowsForBlocks(1));
   storage::DataTable &dt = table->UnderlyingTable();
 
   pipeline_.EnqueueTable(&dt);

@@ -62,7 +62,7 @@ class Q3TopKTest : public ::testing::TestWithParam<GatherMode> {
 
   /// Freeze every block of `table` through the transformation pipeline
   /// (gather mode per test parameter) and assert it took.
-  void Freeze(storage::SqlTable *table) {
+  void Freeze(catalog::SqlTable *table) {
     gc_.FullGC();
     pipeline_.EnqueueTable(&table->UnderlyingTable());
     pipeline_.RunOnce();
@@ -80,8 +80,8 @@ class Q3TopKTest : public ::testing::TestWithParam<GatherMode> {
     int64_t custkey;
     const char *segment;
   };
-  storage::SqlTable *MakeCustomer(const char *name, const std::vector<CustomerRow> &rows) {
-    storage::SqlTable *table =
+  catalog::SqlTable *MakeCustomer(const char *name, const std::vector<CustomerRow> &rows) {
+    catalog::SqlTable *table =
         catalog_.GetTable(catalog_.CreateTable(name, tpch::CustomerSchema()));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
@@ -108,8 +108,8 @@ class Q3TopKTest : public ::testing::TestWithParam<GatherMode> {
     uint32_t orderdate;
     int32_t shippriority;
   };
-  storage::SqlTable *MakeOrders(const char *name, const std::vector<OrderRow> &rows) {
-    storage::SqlTable *table =
+  catalog::SqlTable *MakeOrders(const char *name, const std::vector<OrderRow> &rows) {
+    catalog::SqlTable *table =
         catalog_.GetTable(catalog_.CreateTable(name, tpch::OrdersSchema()));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
@@ -137,8 +137,8 @@ class Q3TopKTest : public ::testing::TestWithParam<GatherMode> {
     double discount;
     uint32_t shipdate;
   };
-  storage::SqlTable *MakeLineitem(const char *name, const std::vector<LineRow> &rows) {
-    storage::SqlTable *table =
+  catalog::SqlTable *MakeLineitem(const char *name, const std::vector<LineRow> &rows) {
+    catalog::SqlTable *table =
         catalog_.GetTable(catalog_.CreateTable(name, tpch::LineItemSchema()));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
@@ -212,9 +212,9 @@ class Q3TopKTest : public ::testing::TestWithParam<GatherMode> {
   transform::AccessObserver observer_;
   transform::BlockTransformer transformer_;
   transform::TransformPipeline pipeline_;
-  storage::SqlTable *customer_ = nullptr;
-  storage::SqlTable *orders_ = nullptr;
-  storage::SqlTable *lineitem_ = nullptr;
+  catalog::SqlTable *customer_ = nullptr;
+  catalog::SqlTable *orders_ = nullptr;
+  catalog::SqlTable *lineitem_ = nullptr;
 };
 
 namespace {
@@ -272,7 +272,7 @@ TEST_P(Q3TopKTest, ChainedProbesCrossProductWithPriorPayloads) {
                                       {"fk_b", catalog::TypeId::kBigInt}});
   const auto fill_kv = [&](const char *name,
                            const std::vector<std::pair<int64_t, int64_t>> &rows) {
-    storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, kv_schema));
+    catalog::SqlTable *table = catalog_.GetTable(catalog_.CreateTable(name, kv_schema));
     const auto init = table->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
     auto *txn = txn_manager_.BeginTransaction();
@@ -287,14 +287,14 @@ TEST_P(Q3TopKTest, ChainedProbesCrossProductWithPriorPayloads) {
   };
 
   // Table A: key 1 once (payload 10), key 2 twice (20, 21); key 3 absent.
-  storage::SqlTable *a = fill_kv("chain_a", {{1, 10}, {2, 20}, {2, 21}});
+  catalog::SqlTable *a = fill_kv("chain_a", {{1, 10}, {2, 20}, {2, 21}});
   // Table B: key 5 twice (50, 51), key 6 once (60); key 7 absent.
-  storage::SqlTable *b = fill_kv("chain_b", {{5, 50}, {5, 51}, {6, 60}});
-  storage::SqlTable *empty_kv =
+  catalog::SqlTable *b = fill_kv("chain_b", {{5, 50}, {5, 51}, {6, 60}});
+  catalog::SqlTable *empty_kv =
       catalog_.GetTable(catalog_.CreateTable("chain_empty", kv_schema));
 
   // Probe rows: (id, fk_a, fk_b) — every combination of matching/dangling.
-  storage::SqlTable *probe =
+  catalog::SqlTable *probe =
       catalog_.GetTable(catalog_.CreateTable("chain_probe", probe_schema));
   {
     const auto init = probe->FullInitializer();
@@ -369,8 +369,8 @@ TEST_P(Q3TopKTest, ChainedProbesCrossProductWithPriorPayloads) {
 TEST_P(Q3TopKTest, BuildFromProbedStreamCarriesMultiplicity) {
   const catalog::Schema kv_schema(
       {{"key", catalog::TypeId::kBigInt}, {"pay", catalog::TypeId::kBigInt}});
-  storage::SqlTable *dims = catalog_.GetTable(catalog_.CreateTable("bm_dims", kv_schema));
-  storage::SqlTable *facts = catalog_.GetTable(catalog_.CreateTable("bm_facts", kv_schema));
+  catalog::SqlTable *dims = catalog_.GetTable(catalog_.CreateTable("bm_dims", kv_schema));
+  catalog::SqlTable *facts = catalog_.GetTable(catalog_.CreateTable("bm_facts", kv_schema));
   {
     const auto init = dims->FullInitializer();
     std::vector<byte> buffer(init.ProjectedRowSize() + 8);
@@ -431,7 +431,7 @@ TEST_P(Q3TopKTest, TopKMatchesStableSortThroughTieClasses) {
   const catalog::Schema schema({{"id", catalog::TypeId::kBigInt},
                                 {"key", catalog::TypeId::kDecimal},
                                 {"date", catalog::TypeId::kDate}});
-  storage::SqlTable *table = catalog_.GetTable(catalog_.CreateTable("topk", schema));
+  catalog::SqlTable *table = catalog_.GetTable(catalog_.CreateTable("topk", schema));
   const auto init = table->FullInitializer();
   std::vector<byte> buffer(init.ProjectedRowSize() + 8);
   auto *txn = txn_manager_.BeginTransaction();
@@ -568,22 +568,22 @@ TEST_P(Q3TopKTest, Q3HandComputedMicroCase) {
   };
 
   check("hot");
-  for (storage::SqlTable *table : {customer_, orders_, lineitem_}) Freeze(table);
+  for (catalog::SqlTable *table : {customer_, orders_, lineitem_}) Freeze(table);
   check("frozen");
   gc_.FullGC();
 }
 
 /// Q3 with any empty input table is empty on every engine.
 TEST_P(Q3TopKTest, Q3EmptyTablesYieldNothing) {
-  storage::SqlTable *no_customers =
+  catalog::SqlTable *no_customers =
       catalog_.GetTable(catalog_.CreateTable("customer_none", tpch::CustomerSchema()));
-  storage::SqlTable *no_orders =
+  catalog::SqlTable *no_orders =
       catalog_.GetTable(catalog_.CreateTable("orders_none", tpch::OrdersSchema()));
-  storage::SqlTable *no_lines =
+  catalog::SqlTable *no_lines =
       catalog_.GetTable(catalog_.CreateTable("lineitem_none", tpch::LineItemSchema()));
-  storage::SqlTable *customers = MakeCustomer("customer_some", {{1, "BUILDING"}});
-  storage::SqlTable *orders = MakeOrders("orders_some", {{10, 1, 9000, 0}});
-  storage::SqlTable *lines = MakeLineitem("lineitem_some", {{10, 100.0, 0.0, 9600}});
+  catalog::SqlTable *customers = MakeCustomer("customer_some", {{1, "BUILDING"}});
+  catalog::SqlTable *orders = MakeOrders("orders_some", {{10, 1, 9000, 0}});
+  catalog::SqlTable *lines = MakeLineitem("lineitem_some", {{10, 100.0, 0.0, 9600}});
   gc_.FullGC();
 
   QueryRunner runner(&txn_manager_, 2);
@@ -622,7 +622,7 @@ TEST_P(Q3TopKTest, Q3MatchesScalarAcrossFreezeStatesAndThreadCounts) {
     EXPECT_GT(stats.hot_blocks, 0u);
   }
 
-  for (storage::SqlTable *table : {customer_, orders_, lineitem_}) {
+  for (catalog::SqlTable *table : {customer_, orders_, lineitem_}) {
     storage::DataTable &dt = table->UnderlyingTable();
     const std::vector<storage::RawBlock *> blocks = dt.Blocks();
     for (size_t i = 0; i < blocks.size() / 2; i++) {
@@ -634,7 +634,7 @@ TEST_P(Q3TopKTest, Q3MatchesScalarAcrossFreezeStatesAndThreadCounts) {
     EXPECT_GT(stats.hot_blocks, 0u);
   }
 
-  for (storage::SqlTable *table : {customer_, orders_, lineitem_}) Freeze(table);
+  for (catalog::SqlTable *table : {customer_, orders_, lineitem_}) Freeze(table);
   for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
     ExpectQ3Agrees(threads, &stats);
     EXPECT_GT(stats.frozen_blocks, 0u);

@@ -33,7 +33,7 @@ class TPCCTest : public ::testing::Test {
   }
 
   /// Sum a decimal column over all visible tuples.
-  double SumColumn(storage::SqlTable *table, uint16_t col) {
+  double SumColumn(catalog::SqlTable *table, uint16_t col) {
     auto initializer = table->InitializerForColumns({col});
     std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
     auto *txn = txn_manager_.BeginTransaction();
@@ -46,7 +46,7 @@ class TPCCTest : public ::testing::Test {
     return total;
   }
 
-  uint64_t CountVisible(storage::SqlTable *table) {
+  uint64_t CountVisible(catalog::SqlTable *table) {
     auto initializer = table->InitializerForColumns({0});
     std::vector<byte> buffer(initializer.ProjectedRowSize() + 8);
     auto *txn = txn_manager_.BeginTransaction();

@@ -104,7 +104,7 @@ class TransformPipelineTest : public ::testing::TestWithParam<GatherMode> {
   transform::AccessObserver observer_;
   BlockTransformer transformer_;
   transform::TransformPipeline pipeline_;
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
 };
 
 TEST_P(TransformPipelineTest, ColdBlocksFreezeAndReadBackThroughArrow) {
@@ -330,7 +330,7 @@ TEST_P(TransformPipelineTest, CompactionNeverRacesUserInsertsOnNeverUsedSlots) {
                   static_cast<long long>(id));
     return std::string(buffer);
   };
-  const auto insert_row = [&](storage::SqlTable *table,
+  const auto insert_row = [&](catalog::SqlTable *table,
                               transaction::TransactionContext *txn,
                               const storage::ProjectedRowInitializer &init,
                               std::vector<byte> *buffer, int64_t id) {
@@ -350,7 +350,7 @@ TEST_P(TransformPipelineTest, CompactionNeverRacesUserInsertsOnNeverUsedSlots) {
   constexpr uint32_t kInserters = 2;
 
   for (int iter = 0; iter < iterations; iter++) {
-    storage::SqlTable *table =
+    catalog::SqlTable *table =
         catalog_.GetTable(catalog_.CreateTable("race" + std::to_string(iter), schema));
     storage::DataTable &dt = table->UnderlyingTable();
     const auto slots_per_block = static_cast<int64_t>(dt.GetLayout().NumSlots());

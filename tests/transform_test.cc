@@ -97,7 +97,7 @@ class TransformTest : public ::testing::TestWithParam<GatherMode> {
   catalog::Schema schema_;
   transaction::TransactionManager txn_manager_;
   gc::GarbageCollector gc_;
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
 };
 
 TEST_P(TransformTest, FreezeWithoutGapsPreservesData) {

@@ -65,7 +65,7 @@ class VarlenMVCCTest : public ::testing::Test {
   catalog::Catalog catalog_;
   transaction::TransactionManager txn_manager_;
   gc::GarbageCollector gc_;
-  storage::SqlTable *table_;
+  catalog::SqlTable *table_;
   std::unique_ptr<storage::ProjectedRowInitializer> initializer_;
   std::vector<byte> buffer_;
 };
