@@ -9,7 +9,7 @@
 #include "catalog/catalog.h"
 #include "gc/garbage_collector.h"
 #include "logging/log_manager.h"
-#include "logging/recovery_manager.h"
+#include "transaction/recovery_manager.h"
 #include "transaction/transaction_manager.h"
 #include "workload/row_util.h"
 
@@ -33,8 +33,7 @@ int main() {
     storage::BlockStore block_store(100, 10);
     storage::RecordBufferSegmentPool buffer_pool(100000, 100);
     catalog::Catalog catalog(&block_store);
-    transaction::TransactionManager plain(&buffer_pool, true, nullptr);
-    logging::LogManager log_manager(kLogPath, &plain);
+    logging::LogManager log_manager(kLogPath);
     transaction::TransactionManager txn_manager(&buffer_pool, true, &log_manager);
     log_manager.SetTableResolver([&](catalog::table_oid_t oid) {
       return &catalog.GetTable(oid)->UnderlyingTable();
@@ -82,7 +81,7 @@ int main() {
   gc::GarbageCollector gc(&txn_manager);
   auto *accounts = catalog.GetTable(catalog.CreateTable("accounts", AccountsSchema()));
 
-  logging::RecoveryManager recovery(catalog.TableMap(), &txn_manager);
+  transaction::RecoveryManager recovery(catalog.TableMap(), &txn_manager);
   const uint64_t replayed = recovery.Recover(kLogPath);
 
   const auto initializer = accounts->FullInitializer();

@@ -7,13 +7,11 @@
 
 #include "storage/data_table.h"
 #include "storage/varlen_entry.h"
-#include "transaction/transaction_manager.h"
 
 namespace mainline::logging {
 
-LogManager::LogManager(std::string log_file_path,
-                       transaction::TransactionManager *txn_manager)
-    : log_file_path_(std::move(log_file_path)), txn_manager_(txn_manager) {
+LogManager::LogManager(std::string log_file_path)
+    : log_file_path_(std::move(log_file_path)) {
   fd_ = open(log_file_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   MAINLINE_ASSERT(fd_ >= 0, "failed to open log file");
 }
@@ -36,10 +34,10 @@ void LogManager::Shutdown() {
   ForceFlush();
 }
 
-void LogManager::AddTransaction(transaction::TransactionContext *txn) {
+void LogManager::Submit(const LogSubmission &submission) {
   {
     common::MutexGuard lock(&queue_latch_);
-    flush_queue_.push_back(txn);
+    flush_queue_.push_back(submission);
   }
   flush_cv_.NotifyOne();
 }
@@ -59,7 +57,7 @@ void LogManager::FlushLoop() {
 }
 
 void LogManager::ForceFlush() {
-  std::vector<transaction::TransactionContext *> batch;
+  std::vector<LogSubmission> batch;
   {
     common::MutexGuard lock(&queue_latch_);
     batch.swap(flush_queue_);
@@ -67,24 +65,27 @@ void LogManager::ForceFlush() {
   if (batch.empty()) return;
 
   std::vector<std::pair<CommitRecord::DurabilityCallback, void *>> callbacks;
-  for (transaction::TransactionContext *txn : batch) ProcessTransaction(txn, &callbacks);
+  for (const LogSubmission &submission : batch) ProcessSubmission(submission, &callbacks);
   FlushAndSync();
   // Group commit: only after fsync do the transactions' results become
   // publishable to clients.
   for (auto &[callback, arg] : callbacks) {
     if (callback != nullptr) callback(arg);
   }
-  // Now that the records are serialized, the GC may reclaim these
-  // transactions' buffers.
-  for (transaction::TransactionContext *txn : batch) {
-    txn_manager_->TransactionFinished(txn);
+  // Now that the records are serialized, report each submission upward (the
+  // transaction layer forwards it to the GC, which may then reclaim its
+  // buffers).
+  if (finished_callback_ != nullptr) {
+    for (const LogSubmission &submission : batch) {
+      finished_callback_(finished_context_, submission.handle);
+    }
   }
 }
 
-void LogManager::ProcessTransaction(
-    transaction::TransactionContext *txn,
+void LogManager::ProcessSubmission(
+    const LogSubmission &submission,
     std::vector<std::pair<CommitRecord::DurabilityCallback, void *>> *callbacks) {
-  for (const LogRecord *record : txn->RedoRecords()) {
+  for (const LogRecord *record : *submission.records) {
     if (record->RecordType() == LogRecordType::kCommit) {
       const auto *commit = record->GetUnderlyingRecordBodyAs<CommitRecord>();
       callbacks->emplace_back(commit->Callback(), commit->CallbackArg());

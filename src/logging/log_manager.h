@@ -13,12 +13,17 @@
 #include "logging/log_record.h"
 #include "storage/record_buffer.h"
 
-namespace mainline::transaction {
-class TransactionManager;
-class TransactionContext;
-}
-
 namespace mainline::logging {
+
+/// One transaction's staged log records, as handed to the LogManager at
+/// commit. The records vector must stay alive and unmodified until the
+/// finished callback reports `handle` back — the log manager reads it from
+/// the serializer thread. `handle` is opaque to logging; the layer above
+/// (the transaction manager) uses it to identify the transaction.
+struct LogSubmission {
+  const std::vector<LogRecord *> *records;
+  void *handle;
+};
 
 /// Write-ahead log manager (Section 3.4). Committing transactions enqueue
 /// their redo buffers; a background thread serializes the records into an
@@ -32,18 +37,25 @@ namespace mainline::logging {
 /// speculative-read anomaly described in the paper) but their commit records
 /// are not written to disk.
 ///
-/// A transaction is forwarded to the garbage collector only after its records
-/// are serialized, so the GC can never reclaim varlen buffers the serializer
-/// still references.
+/// A submission is reported back through the finished callback only after
+/// its records are serialized; the transaction layer uses that signal to
+/// forward the transaction to the garbage collector, so the GC can never
+/// reclaim varlen buffers the serializer still references. The log manager
+/// itself knows nothing about transactions — it sees record vectors and
+/// opaque handles.
 class LogManager {
  public:
   /// Resolves a table oid to its DataTable so the serializer can interpret
   /// attribute sizes and varlen columns. Installed by the catalog.
   using TableResolver = std::function<storage::DataTable *(catalog::table_oid_t)>;
 
+  /// Invoked once per submission after its records are serialized and the
+  /// batch is durable. `context` is the pointer given to
+  /// SetFinishedCallback; `handle` is the submission's handle.
+  using FinishedCallback = void (*)(void *context, void *handle);
+
   /// \param log_file_path file the serialized log is appended to
-  /// \param txn_manager manager to forward serialized transactions to
-  LogManager(std::string log_file_path, transaction::TransactionManager *txn_manager);
+  explicit LogManager(std::string log_file_path);
 
   DISALLOW_COPY_AND_MOVE(LogManager)
 
@@ -55,8 +67,8 @@ class LogManager {
   /// Drain the queue, flush, and join the background thread.
   void Shutdown() EXCLUDES(queue_latch_);
 
-  /// Enqueue a committed (or read-only) transaction's redo buffer.
-  void AddTransaction(transaction::TransactionContext *txn) EXCLUDES(queue_latch_);
+  /// Enqueue one committed (or read-only) transaction's staged records.
+  void Submit(const LogSubmission &submission) EXCLUDES(queue_latch_);
 
   /// Synchronously process everything currently queued (serialize + fsync +
   /// run callbacks). Used by tests and single-threaded setups.
@@ -65,6 +77,14 @@ class LogManager {
   /// Install the table resolver used to interpret redo record payloads.
   void SetTableResolver(TableResolver resolver) { table_resolver_ = std::move(resolver); }
 
+  /// Install the sink notified as submissions finish serialization. Like the
+  /// table resolver, this must be installed before logging begins; the
+  /// transaction manager does so from its constructor.
+  void SetFinishedCallback(FinishedCallback callback, void *context) {
+    finished_callback_ = callback;
+    finished_context_ = context;
+  }
+
   /// \return number of log records written to disk so far.
   uint64_t RecordsWritten() const { return records_written_.load(std::memory_order_relaxed); }
   /// \return number of bytes written to disk so far.
@@ -72,11 +92,11 @@ class LogManager {
 
  private:
   void FlushLoop() EXCLUDES(queue_latch_);
-  /// Serialize and stage one transaction's records; collects its durability
+  /// Serialize and stage one submission's records; collects its durability
   /// callback (if any) into `callbacks`.
-  void ProcessTransaction(transaction::TransactionContext *txn,
-                          std::vector<std::pair<CommitRecord::DurabilityCallback, void *>>
-                              *callbacks);
+  void ProcessSubmission(const LogSubmission &submission,
+                         std::vector<std::pair<CommitRecord::DurabilityCallback, void *>>
+                             *callbacks);
   void SerializeRecord(const LogRecord &record);
   void FlushAndSync();
 
@@ -90,16 +110,18 @@ class LogManager {
   }
 
   std::string log_file_path_;
-  transaction::TransactionManager *txn_manager_;
   // Serializer-path-only state (table_resolver_, fd_, out_buffer_): touched
   // exclusively by whichever single thread is inside ForceFlush — the flush
   // thread, or the caller's thread in tests/single-threaded setups before
-  // Start. Installing the resolver must happen before logging begins.
+  // Start. Installing the resolver and the finished callback must happen
+  // before logging begins.
   TableResolver table_resolver_;
+  FinishedCallback finished_callback_ = nullptr;
+  void *finished_context_ = nullptr;
   int fd_ = -1;
 
   common::Mutex queue_latch_;
-  std::vector<transaction::TransactionContext *> flush_queue_ GUARDED_BY(queue_latch_);
+  std::vector<LogSubmission> flush_queue_ GUARDED_BY(queue_latch_);
   common::ConditionVariable flush_cv_;
 
   std::vector<byte> out_buffer_;

@@ -1,4 +1,4 @@
-#include "logging/recovery_manager.h"
+#include "transaction/recovery_manager.h"
 
 #include <algorithm>
 #include <cstring>
@@ -12,13 +12,13 @@
 #include "storage/varlen_entry.h"
 #include "transaction/transaction_manager.h"
 
-namespace mainline::logging {
+namespace mainline::transaction {
 
 namespace {
 
 /// A parsed, engine-independent log record used only during replay.
 struct ParsedRecord {
-  LogRecordType type;
+  logging::LogRecordType type;
   catalog::table_oid_t table_oid{0};
   storage::TupleSlot slot;
   bool is_insert = false;
@@ -70,9 +70,9 @@ uint64_t RecoveryManager::Recover(const std::string &log_file_path) {
     transaction::timestamp_t txn_begin;
     if (!reader.Read(&txn_begin)) break;
     ParsedTxn &txn = txns[txn_begin];
-    const auto type = static_cast<LogRecordType>(type_byte);
+    const auto type = static_cast<logging::LogRecordType>(type_byte);
     switch (type) {
-      case LogRecordType::kRedo: {
+      case logging::LogRecordType::kRedo: {
         ParsedRecord record;
         record.type = type;
         uint32_t oid;
@@ -115,7 +115,7 @@ uint64_t RecoveryManager::Recover(const std::string &log_file_path) {
         txn.records.push_back(std::move(record));
         break;
       }
-      case LogRecordType::kDelete: {
+      case logging::LogRecordType::kDelete: {
         ParsedRecord record;
         record.type = type;
         uint32_t oid;
@@ -126,12 +126,12 @@ uint64_t RecoveryManager::Recover(const std::string &log_file_path) {
         txn.records.push_back(std::move(record));
         break;
       }
-      case LogRecordType::kCommit: {
+      case logging::LogRecordType::kCommit: {
         if (!reader.Read(&txn.commit_ts)) return 0;
         txn.committed = true;
         break;
       }
-      case LogRecordType::kAbort:
+      case logging::LogRecordType::kAbort:
         txn.records.clear();
         break;
     }
@@ -149,7 +149,7 @@ uint64_t RecoveryManager::Recover(const std::string &log_file_path) {
     for (const ParsedRecord &record : parsed->records) {
       storage::DataTable *table = tables_.at(record.table_oid);
       const storage::BlockLayout &layout = table->GetLayout();
-      if (record.type == LogRecordType::kDelete) {
+      if (record.type == logging::LogRecordType::kDelete) {
         const auto it = slot_map_.find(record.slot);
         MAINLINE_ASSERT(it != slot_map_.end(), "delete of unknown slot during recovery");
         const bool deleted = table->Delete(txn, it->second);
@@ -199,4 +199,4 @@ uint64_t RecoveryManager::Recover(const std::string &log_file_path) {
   return replayed;
 }
 
-}  // namespace mainline::logging
+}  // namespace mainline::transaction

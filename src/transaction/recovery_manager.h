@@ -11,11 +11,10 @@
 namespace mainline::storage {
 class DataTable;
 }
-namespace mainline::transaction {
-class TransactionManager;
-}
 
-namespace mainline::logging {
+namespace mainline::transaction {
+
+class TransactionManager;
 
 /// Rebuilds table contents from a serialized write-ahead log (Section 3.4).
 ///
@@ -34,7 +33,7 @@ class RecoveryManager {
   /// \param txn_manager transaction manager of the recovering instance (must
   ///        have logging disabled to avoid re-logging the replay)
   RecoveryManager(std::unordered_map<catalog::table_oid_t, storage::DataTable *> tables,
-                  transaction::TransactionManager *txn_manager)
+                  TransactionManager *txn_manager)
       : tables_(std::move(tables)), txn_manager_(txn_manager) {}
 
   DISALLOW_COPY_AND_MOVE(RecoveryManager)
@@ -51,8 +50,8 @@ class RecoveryManager {
 
  private:
   std::unordered_map<catalog::table_oid_t, storage::DataTable *> tables_;
-  transaction::TransactionManager *txn_manager_;
+  TransactionManager *txn_manager_;
   std::unordered_map<storage::TupleSlot, storage::TupleSlot> slot_map_;
 };
 
-}  // namespace mainline::logging
+}  // namespace mainline::transaction

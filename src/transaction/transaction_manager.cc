@@ -9,7 +9,27 @@
 
 namespace mainline::transaction {
 
+TransactionManager::TransactionManager(storage::RecordBufferSegmentPool *buffer_pool,
+                                       bool gc_enabled, logging::LogManager *log_manager)
+    : buffer_pool_(buffer_pool), gc_enabled_(gc_enabled), log_manager_(log_manager) {
+  if (log_manager_ != nullptr) {
+    // The log manager sees only record vectors and opaque handles; this sink
+    // turns a finished submission's handle back into its transaction and
+    // forwards it to the GC queue.
+    log_manager_->SetFinishedCallback(
+        +[](void *context, void *handle) {
+          static_cast<TransactionManager *>(context)->TransactionFinished(
+              static_cast<TransactionContext *>(handle));
+        },
+        this);
+  }
+}
+
 TransactionManager::~TransactionManager() {
+  // Stop the flush thread and drain queued submissions while this manager
+  // can still receive them; afterwards nothing submits (commits come only
+  // from here), so the paired LogManager may be destroyed at leisure.
+  if (log_manager_ != nullptr) log_manager_->Shutdown();
   for (TransactionContext *txn : completed_txns_) {
     // Aborted transactions' before-images still back live block data after
     // rollback; only committed ones own their old varlen values.
@@ -88,7 +108,7 @@ void TransactionManager::LogCommit(TransactionContext *txn, timestamp_t commit_t
   logging::LogRecord *record = logging::CommitRecord::Initialize(
       head, txn->StartTime(), commit_time, txn->IsReadOnly(), callback, callback_arg, txn);
   txn->redo_records_.push_back(record);
-  log_manager_->AddTransaction(txn);
+  log_manager_->Submit(logging::LogSubmission{&txn->RedoRecords(), txn});
 }
 
 timestamp_t TransactionManager::Abort(TransactionContext *txn) {

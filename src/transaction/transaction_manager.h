@@ -32,15 +32,19 @@ class TransactionManager {
   /// \param gc_enabled if false, finished transactions are destroyed eagerly
   ///        instead of queued for the garbage collector (single-threaded use)
   /// \param log_manager write-ahead log sink, or nullptr to run without
-  ///        durability
+  ///        durability. The constructor installs this manager as the log
+  ///        manager's finished-submission sink, so a LogManager pairs with
+  ///        exactly one logging TransactionManager.
   TransactionManager(storage::RecordBufferSegmentPool *buffer_pool, bool gc_enabled,
-                     logging::LogManager *log_manager)
-      : buffer_pool_(buffer_pool), gc_enabled_(gc_enabled), log_manager_(log_manager) {}
+                     logging::LogManager *log_manager);
 
   DISALLOW_COPY_AND_MOVE(TransactionManager)
 
-  /// Destroys any finished transactions the GC did not reclaim. Tables must
-  /// still be alive (their layouts are needed to free varlen before-images).
+  /// Shuts down and drains the log manager (if any) so in-flight submissions
+  /// land back here, then destroys any finished transactions the GC did not
+  /// reclaim. Tables must still be alive (their layouts are needed to free
+  /// varlen before-images). Destroy this manager before the LogManager it
+  /// logs to.
   ~TransactionManager();
 
   /// Begin a new transaction.
@@ -84,8 +88,6 @@ class TransactionManager {
   storage::RecordBufferSegmentPool *BufferPool() { return buffer_pool_; }
 
  private:
-  friend class logging::LogManager;
-
   void LogCommit(TransactionContext *txn, timestamp_t commit_time,
                  logging::CommitRecord::DurabilityCallback callback, void *callback_arg);
   void Rollback(TransactionContext *txn);

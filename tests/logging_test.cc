@@ -7,7 +7,7 @@
 #include "catalog/catalog.h"
 #include "gc/garbage_collector.h"
 #include "logging/log_manager.h"
-#include "logging/recovery_manager.h"
+#include "transaction/recovery_manager.h"
 #include "transaction/transaction_manager.h"
 #include "workload/row_util.h"
 
@@ -27,8 +27,7 @@ TEST(LoggingTest, CommitCallbackFiresAfterFlush) {
   storage::BlockStore block_store(100, 10);
   storage::RecordBufferSegmentPool buffer_pool(100000, 100);
   catalog::Catalog catalog(&block_store);
-  transaction::TransactionManager txn_manager(&buffer_pool, true, nullptr);
-  logging::LogManager log_manager(kLogPath, &txn_manager);
+  logging::LogManager log_manager(kLogPath);
   transaction::TransactionManager logged_manager(&buffer_pool, true, &log_manager);
   log_manager.SetTableResolver([&](catalog::table_oid_t oid) {
     return &catalog.GetTable(oid)->UnderlyingTable();
@@ -71,8 +70,7 @@ TEST(LoggingTest, RecoveryRebuildsTables) {
     storage::BlockStore block_store(100, 10);
     storage::RecordBufferSegmentPool buffer_pool(100000, 100);
     catalog::Catalog catalog(&block_store);
-    transaction::TransactionManager txn_manager(&buffer_pool, true, nullptr);
-    logging::LogManager log_manager(kLogPath, &txn_manager);
+    logging::LogManager log_manager(kLogPath);
     transaction::TransactionManager logged(&buffer_pool, true, &log_manager);
     log_manager.SetTableResolver([&](catalog::table_oid_t oid) {
       return &catalog.GetTable(oid)->UnderlyingTable();
@@ -136,7 +134,7 @@ TEST(LoggingTest, RecoveryRebuildsTables) {
   gc::GarbageCollector gc(&txn_manager);
   auto *table = catalog.GetTable(catalog.CreateTable("t", TestSchema()));
 
-  logging::RecoveryManager recovery(catalog.TableMap(), &txn_manager);
+  transaction::RecoveryManager recovery(catalog.TableMap(), &txn_manager);
   const uint64_t replayed = recovery.Recover(kLogPath);
   EXPECT_EQ(replayed, 3u);  // two insert batches + the update/delete txn
 
