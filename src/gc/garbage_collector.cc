@@ -8,7 +8,6 @@
 #include "storage/undo_record.h"
 #include "transaction/transaction_context.h"
 #include "transaction/transaction_manager.h"
-#include "transform/access_observer.h"
 
 namespace mainline::gc {
 
@@ -21,7 +20,7 @@ GarbageCollector::~GarbageCollector() {
 }
 
 std::pair<uint32_t, uint32_t> GarbageCollector::PerformGarbageCollection() {
-  transform::AccessObserver *observer = observer_.load(std::memory_order_acquire);
+  WriteObserver *observer = observer_.load(std::memory_order_acquire);
   if (observer != nullptr) observer->NewEpoch();
   const transaction::timestamp_t oldest = txn_manager_->OldestTransactionStartTime();
   const uint32_t deallocated = ProcessDeallocateQueue(oldest);
@@ -52,7 +51,7 @@ uint32_t GarbageCollector::ProcessUnlinkQueue(transaction::timestamp_t oldest) {
       txn_manager_->CompletedTransactionsForGC();
   // Feed the access observer at drain time: the GC epoch approximates each
   // modification's timestamp (Section 4.2).
-  transform::AccessObserver *observer = observer_.load(std::memory_order_acquire);
+  WriteObserver *observer = observer_.load(std::memory_order_acquire);
   if (observer != nullptr) {
     for (transaction::TransactionContext *txn : drained) {
       for (storage::UndoRecord *undo : txn->UndoRecords()) {

@@ -10,14 +10,12 @@
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
 #include "common/typedefs.h"
+#include "gc/write_observer.h"
 #include "storage/storage_defs.h"
 
 namespace mainline::transaction {
 class TransactionManager;
 class TransactionContext;
-}
-namespace mainline::transform {
-class AccessObserver;
 }
 
 namespace mainline::gc {
@@ -58,7 +56,7 @@ class GarbageCollector {
   /// modification statistics. Atomic release store: tests detach observers
   /// while a GarbageCollectorThread may be mid-pass, and the paired acquire
   /// load in PerformGarbageCollection must see a fully constructed observer.
-  void SetAccessObserver(transform::AccessObserver *observer) {
+  void SetAccessObserver(WriteObserver *observer) {
     observer_.store(observer, std::memory_order_release);
   }
 
@@ -75,7 +73,7 @@ class GarbageCollector {
   static void DeallocateTransaction(transaction::TransactionContext *txn);
 
   transaction::TransactionManager *txn_manager_;
-  std::atomic<transform::AccessObserver *> observer_{nullptr};
+  std::atomic<WriteObserver *> observer_{nullptr};
 
   // GC-thread-only state: PerformGarbageCollection is single-caller by
   // contract (one GC thread, or tests calling it inline), so the two queues

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
+#include "gc/write_observer.h"
 #include "storage/raw_block.h"
 
 namespace mainline::transform {
@@ -19,7 +20,7 @@ namespace mainline::transform {
 /// ("GC epoch"). Blocks that have not been modified for
 /// `cold_threshold_epochs` GC epochs are emitted as cold candidates for the
 /// transformation queue.
-class AccessObserver {
+class AccessObserver final : public gc::WriteObserver {
  public:
   /// \param cold_threshold_epochs number of GC epochs without modification
   ///        after which a block is considered cold
@@ -33,10 +34,10 @@ class AccessObserver {
   /// the epoch concurrently (CollectColdBlocks), so a plain uint64_t here
   /// was a data race — coldness is a heuristic, so no ordering is needed
   /// beyond tear-free reads.
-  void NewEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  void NewEpoch() override { epoch_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Called by the GC for every block touched by a transaction it processed.
-  void ObserveWrite(storage::RawBlock *block) EXCLUDES(latch_) {
+  void ObserveWrite(storage::RawBlock *block) override EXCLUDES(latch_) {
     block->last_touched_epoch.store(epoch_.load(std::memory_order_relaxed),
                                     std::memory_order_relaxed);
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
