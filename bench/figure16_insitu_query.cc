@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "transform/block_transformer.h"
 #include "workload/tpch/lineitem.h"
 
@@ -59,7 +59,7 @@ std::unique_ptr<Engine> BuildLineItem(uint64_t rows, uint64_t txn_rows,
 int main() {
   using namespace mainline;
   using namespace mainline::bench;
-  using execution::ExecMode;
+  using workload::ExecMode;
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F16_ROWS", 2000000));
   const auto txn_rows = static_cast<uint64_t>(EnvInt("MAINLINE_F16_TXN_ROWS", 10000));
   const int64_t reps = EnvInt("MAINLINE_F16_REPS", 3);
@@ -78,7 +78,7 @@ int main() {
     catalog::SqlTable *table = nullptr;
     uint64_t frozen_blocks = 0;
     auto engine = BuildLineItem(rows, txn_rows, frozen_pct, &table, &frozen_blocks);
-    execution::QueryRunner runner(&engine->txn_manager);
+    workload::QueryRunner runner(&engine->txn_manager);
 
     // Correctness gate: the engines must agree bit-exactly before timing.
     const auto q1_vec = runner.RunQ1(table);

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "transform/block_transformer.h"
 #include "workload/tpch/lineitem.h"
 #include "workload/tpch/orders.h"
@@ -60,7 +60,7 @@ std::unique_ptr<Engine> BuildTables(uint64_t rows, uint64_t num_orders, uint64_t
 int main() {
   using namespace mainline;
   using namespace mainline::bench;
-  using execution::ExecMode;
+  using workload::ExecMode;
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F17_ROWS", 2000000));
   const auto num_orders =
       static_cast<uint64_t>(EnvInt("MAINLINE_F17_ORDERS", static_cast<int64_t>(rows / 3)));
@@ -82,7 +82,7 @@ int main() {
     uint64_t frozen_blocks = 0;
     auto engine = BuildTables(rows, num_orders, txn_rows, frozen_pct, &lineitem, &orders,
                               &frozen_blocks);
-    execution::QueryRunner runner(&engine->txn_manager);
+    workload::QueryRunner runner(&engine->txn_manager);
 
     // Correctness gate: the engines must agree exactly before timing.
     const auto vec = runner.RunQ12(orders, lineitem);

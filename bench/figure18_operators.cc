@@ -21,7 +21,7 @@
 #include "bench_util.h"
 #include "common/selection_vector.h"
 #include "execution/hash_join.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "execution/table_scanner.h"
 #include "execution/vector_ops.h"
 #include "metrics/metrics_registry.h"
@@ -65,7 +65,7 @@ const std::vector<uint16_t> kQ6Projection = {L_QUANTITY, L_EXTENDEDPRICE, L_DISC
                                              L_SHIPDATE};
 
 double FusedQ6(catalog::SqlTable *table, transaction::TransactionContext *txn,
-               const execution::tpch::Q6Params &params) {
+               const workload::tpch::Q6Params &params) {
   TableScanner scanner(table, txn, kQ6Projection);
   const uint16_t qty = ProjectionIndexOf(kQ6Projection, L_QUANTITY);
   const uint16_t price = ProjectionIndexOf(kQ6Projection, L_EXTENDEDPRICE);
@@ -111,10 +111,10 @@ const std::vector<uint16_t> kQ12OrdersProjection = {O_ORDERKEY, O_ORDERPRIORITY}
 const std::vector<uint16_t> kQ12LineitemProjection = {L_ORDERKEY, L_SHIPDATE, L_COMMITDATE,
                                                       L_RECEIPTDATE, L_SHIPMODE};
 
-std::vector<execution::tpch::Q12Row> FusedQ12(catalog::SqlTable *orders,
+std::vector<workload::tpch::Q12Row> FusedQ12(catalog::SqlTable *orders,
                                               catalog::SqlTable *lineitem,
                                               transaction::TransactionContext *txn,
-                                              const execution::tpch::Q12Params &params) {
+                                              const workload::tpch::Q12Params &params) {
   // Build: inline JoinHashTable over ORDERS, payload = urgent/high bit.
   const uint16_t okey = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERKEY);
   const uint16_t prio = ProjectionIndexOf(kQ12OrdersProjection, O_ORDERPRIORITY);
@@ -203,10 +203,10 @@ std::vector<execution::tpch::Q12Row> FusedQ12(catalog::SqlTable *orders,
     }
   }
 
-  std::vector<execution::tpch::Q12Row> rows;
+  std::vector<workload::tpch::Q12Row> rows;
   rows.reserve(groups.size());
   for (Q12Acc &acc : groups) {
-    execution::tpch::Q12Row row;
+    workload::tpch::Q12Row row;
     row.shipmode = std::move(acc.shipmode);
     row.high_line_count = acc.high;
     row.low_line_count = acc.low;
@@ -247,7 +247,7 @@ std::unique_ptr<Engine> BuildFrozenTables(uint64_t rows, uint64_t num_orders,
 int main() {
   using namespace mainline;
   using namespace mainline::bench;
-  using execution::ExecMode;
+  using workload::ExecMode;
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F18_ROWS", 2000000));
   const auto num_orders = rows / 3;
   const int64_t reps = EnvInt("MAINLINE_F18_REPS", 3);
@@ -256,7 +256,7 @@ int main() {
   catalog::SqlTable *lineitem = nullptr;
   catalog::SqlTable *orders = nullptr;
   auto engine = BuildFrozenTables(rows, num_orders, /*txn_rows=*/10000, &lineitem, &orders);
-  execution::QueryRunner runner(&engine->txn_manager);
+  workload::QueryRunner runner(&engine->txn_manager);
 
   std::printf("== Figure 18: operator pipeline vs hand-fused kernels, 100%% frozen "
               "(M lineitem rows/s, best of %" PRId64 "), LINEITEM %" PRIu64
@@ -270,8 +270,8 @@ int main() {
   {
     auto *txn = engine->txn_manager.BeginTransaction();
     const double fused = FusedQ6(lineitem, txn, {});
-    const double plan = execution::tpch::RunQ6(lineitem, txn, {});
-    const double scalar = execution::tpch::RunQ6Scalar(lineitem, txn, {});
+    const double plan = workload::tpch::RunQ6(lineitem, txn, {});
+    const double scalar = workload::tpch::RunQ6Scalar(lineitem, txn, {});
     engine->txn_manager.Commit(txn);
     if (fused != scalar || plan != scalar) {
       std::printf("Q6 RESULT MISMATCH (fused %.6f, pipeline %.6f, scalar %.6f)\n", fused,
@@ -292,8 +292,8 @@ int main() {
   {
     auto *txn = engine->txn_manager.BeginTransaction();
     const auto fused = FusedQ12(orders, lineitem, txn, {});
-    const auto plan = execution::tpch::RunQ12(orders, lineitem, txn, {});
-    const auto scalar = execution::tpch::RunQ12Scalar(orders, lineitem, txn, {});
+    const auto plan = workload::tpch::RunQ12(orders, lineitem, txn, {});
+    const auto scalar = workload::tpch::RunQ12Scalar(orders, lineitem, txn, {});
     engine->txn_manager.Commit(txn);
     if (!(fused == scalar) || !(plan == scalar) || fused.empty()) {
       std::printf("Q12 RESULT MISMATCH\n");

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "metrics/metrics_registry.h"
 #include "transform/block_transformer.h"
 #include "workload/tpch/customer.h"
@@ -64,7 +64,7 @@ std::unique_ptr<Engine> BuildFrozenTables(uint64_t rows, uint64_t num_orders,
 int main() {
   using namespace mainline;
   using namespace mainline::bench;
-  using execution::ExecMode;
+  using workload::ExecMode;
   const auto rows = static_cast<uint64_t>(EnvInt("MAINLINE_F19_ROWS", 2000000));
   const auto num_orders = static_cast<uint64_t>(
       EnvInt("MAINLINE_F19_ORDERS", static_cast<int64_t>(rows / 3)));
@@ -81,7 +81,7 @@ int main() {
   catalog::SqlTable *lineitem = nullptr;
   auto engine = BuildFrozenTables(rows, num_orders, num_customers, txn_rows, &customer,
                                   &orders, &lineitem);
-  execution::QueryRunner runner(&engine->txn_manager);
+  workload::QueryRunner runner(&engine->txn_manager);
 
   std::printf("== Figure 19: TPC-H Q3 three-way join + top-k, 100%% frozen "
               "(M scanned rows/s, best of %" PRId64 "), LINEITEM %" PRIu64

@@ -30,7 +30,7 @@
 #include <cstring>
 
 #include "catalog/catalog.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "gc/garbage_collector.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
@@ -41,8 +41,8 @@
 #include "workload/tpch/part.h"
 
 using namespace mainline;
-using execution::ExecMode;
-using execution::QueryRunner;
+using workload::ExecMode;
+using workload::QueryRunner;
 
 namespace {
 

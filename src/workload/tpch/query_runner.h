@@ -7,11 +7,14 @@
 
 #include "common/macros.h"
 #include "common/worker_pool.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/tpch_queries.h"
 #include "catalog/sql_table.h"
 #include "transaction/transaction_manager.h"
 
-namespace mainline::execution {
+namespace mainline::workload {
+
+using execution::ScanStats;
+namespace op = execution::op;
 
 /// Which engine answers a query: the operator-pipeline plan run inline, the
 /// same plan run morsel-parallel, or the tuple-at-a-time scalar reference
@@ -187,4 +190,4 @@ class QueryRunner {
   op::PlanProfile last_profile_;
 };
 
-}  // namespace mainline::execution
+}  // namespace mainline::workload

@@ -1,4 +1,4 @@
-#include "execution/tpch_queries.h"
+#include "workload/tpch/tpch_queries.h"
 
 #include <algorithm>
 #include <limits>
@@ -12,7 +12,9 @@
 #include "workload/tpch/orders.h"
 #include "workload/tpch/part.h"
 
-namespace mainline::execution::tpch {
+namespace mainline::workload::tpch {
+
+using namespace mainline::execution;  // the operator vocabulary the plans compose
 
 namespace {
 
@@ -716,4 +718,4 @@ std::vector<Q3Row> RunQ3Scalar(catalog::SqlTable *customer, catalog::SqlTable *o
   return rows;
 }
 
-}  // namespace mainline::execution::tpch
+}  // namespace mainline::workload::tpch

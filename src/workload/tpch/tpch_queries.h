@@ -10,7 +10,14 @@
 #include "catalog/sql_table.h"
 #include "transaction/transaction_context.h"
 
-namespace mainline::execution::tpch {
+namespace mainline::workload::tpch {
+
+// Moved here from execution/: the query compositions know TPC-H column
+// layouts (workload knowledge), while the operator building blocks they
+// compose stay below in execution/. These aliases keep the signatures
+// spelled the way the execution layer defines them.
+using execution::ScanStats;
+namespace op = execution::op;
 
 /// The TPC-H queries below are compositions over the push-based operator
 /// pipeline API (execution/operators/): each Run* function wires a
@@ -246,4 +253,4 @@ std::vector<Q1Row> RunQ1Scalar(catalog::SqlTable *table, transaction::Transactio
 double RunQ6Scalar(catalog::SqlTable *table, transaction::TransactionContext *txn,
                    const Q6Params &params, ScanStats *stats = nullptr);
 
-}  // namespace mainline::execution::tpch
+}  // namespace mainline::workload::tpch

@@ -10,9 +10,9 @@
 
 #include "catalog/catalog.h"
 #include "common/selection_vector.h"
-#include "execution/query_runner.h"
+#include "workload/tpch/query_runner.h"
 #include "execution/table_scanner.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/tpch_queries.h"
 #include "execution/vector_ops.h"
 #include "gc/garbage_collector.h"
 #include "storage/arrow_block_metadata.h"
@@ -27,14 +27,14 @@ namespace mainline {
 
 using execution::AccessPath;
 using execution::ColumnVectorBatch;
-using execution::ExecMode;
-using execution::QueryRunner;
+using workload::ExecMode;
+using workload::QueryRunner;
 using execution::ScanStats;
 using execution::TableScanner;
 using storage::BlockState;
 using storage::ProjectedRow;
 using transform::GatherMode;
-namespace q = execution::tpch;
+namespace q = workload::tpch;
 
 /// End-to-end coverage of the in-situ execution layer: the dual-path
 /// TableScanner and the vectorized Q1/Q6 must agree bit-exactly with the

@@ -9,8 +9,8 @@
 #include "catalog/catalog.h"
 #include "common/worker_pool.h"
 #include "execution/hash_join.h"
-#include "execution/query_runner.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/query_runner.h"
+#include "workload/tpch/tpch_queries.h"
 #include "gc/garbage_collector.h"
 #include "storage/storage_util.h"
 #include "transform/access_observer.h"
@@ -23,15 +23,15 @@
 namespace mainline {
 
 using execution::ColumnVectorBatch;
-using execution::ExecMode;
+using workload::ExecMode;
 using execution::JoinEntry;
 using execution::JoinHashTable;
-using execution::QueryRunner;
+using workload::QueryRunner;
 using execution::ScanStats;
 using storage::BlockState;
 using storage::ProjectedRow;
 using transform::GatherMode;
-namespace q = execution::tpch;
+namespace q = workload::tpch;
 namespace tpch = workload::tpch;
 
 /// Coverage of the morsel-parallel hash join: the JoinHashTable operator

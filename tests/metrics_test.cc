@@ -8,8 +8,8 @@
 
 #include "catalog/catalog.h"
 #include "common/worker_pool.h"
-#include "execution/query_runner.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/query_runner.h"
+#include "workload/tpch/tpch_queries.h"
 #include "gc/garbage_collector.h"
 #include "metrics/engine_metrics.h"
 #include "metrics/metrics_registry.h"
@@ -22,8 +22,8 @@
 
 namespace mainline {
 
-using execution::ExecMode;
-using execution::QueryRunner;
+using workload::ExecMode;
+using workload::QueryRunner;
 using metrics::Counter;
 using metrics::Gauge;
 using metrics::Histogram;

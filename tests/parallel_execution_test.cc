@@ -9,8 +9,8 @@
 #include "catalog/catalog.h"
 #include "common/worker_pool.h"
 #include "execution/parallel_scanner.h"
-#include "execution/query_runner.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/query_runner.h"
+#include "workload/tpch/tpch_queries.h"
 #include "gc/garbage_collector.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
@@ -21,14 +21,14 @@
 namespace mainline {
 
 using execution::ColumnVectorBatch;
-using execution::ExecMode;
+using workload::ExecMode;
 using execution::ParallelTableScanner;
-using execution::QueryRunner;
+using workload::QueryRunner;
 using execution::ScanStats;
 using storage::BlockState;
 using storage::ProjectedRow;
 using transform::GatherMode;
-namespace q = execution::tpch;
+namespace q = workload::tpch;
 
 /// Coverage of the morsel-parallel execution layer: for every worker count,
 /// the parallel engine must return results BIT-IDENTICAL to the scalar

@@ -9,8 +9,8 @@
 #include "catalog/catalog.h"
 #include "common/worker_pool.h"
 #include "execution/operators/pipeline.h"
-#include "execution/query_runner.h"
-#include "execution/tpch_queries.h"
+#include "workload/tpch/query_runner.h"
+#include "workload/tpch/tpch_queries.h"
 #include "gc/garbage_collector.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
@@ -22,14 +22,14 @@
 
 namespace mainline {
 
-using execution::ExecMode;
-using execution::QueryRunner;
+using workload::ExecMode;
+using workload::QueryRunner;
 using execution::ScanStats;
 using storage::BlockState;
 using storage::ProjectedRow;
 using transform::GatherMode;
 namespace op = execution::op;
-namespace q = execution::tpch;
+namespace q = workload::tpch;
 namespace tpch = workload::tpch;
 
 /// Coverage of PR 6's operator-layer growth: probe chaining (a chunk probed
