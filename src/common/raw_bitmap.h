@@ -39,6 +39,8 @@ class RawConcurrentBitmap {
 
   /// \return the value of bit `pos`, without any memory ordering.
   bool TestRelaxed(uint32_t pos) const {
+    // relaxed: callers opt into a hint read (slot probing); any decision
+    // based on it is re-validated by an acquiring read or CAS before use.
     return (WordFor(pos).load(std::memory_order_relaxed) >> BitOffset(pos)) & 1u;
   }
 
@@ -48,6 +50,8 @@ class RawConcurrentBitmap {
   bool Flip(uint32_t pos, bool expected_value) {
     std::atomic<uint64_t> &word = WordFor(pos);
     const uint64_t mask = uint64_t{1} << BitOffset(pos);
+    // relaxed: just the seed for the CAS loop; the acq_rel
+    // compare_exchange below is what synchronizes (and re-reads on failure).
     uint64_t old_word = word.load(std::memory_order_relaxed);
     while (true) {
       const bool current = (old_word & mask) != 0;
@@ -85,6 +89,8 @@ class RawConcurrentBitmap {
     uint32_t count = 0;
     const uint32_t num_words = (num_bits + 63) / 64;
     for (uint32_t w = 0; w < num_words; w++) {
+      // relaxed: a population count over a bitmap others may be flipping is
+      // inherently approximate; all that is needed is tear-free word reads.
       uint64_t word = reinterpret_cast<const std::atomic<uint64_t> *>(bits_)[w].load(
           std::memory_order_relaxed);
       if ((w + 1) * 64 > num_bits) {

@@ -34,6 +34,9 @@ class CAPABILITY("mutex") SpinLatch {
   void Lock() ACQUIRE() {
     while (true) {
       if (!latch_.exchange(true, std::memory_order_acquire)) return;
+      // relaxed: spin-wait peek — only a hint that the latch might be free
+      // (see the class comment); the acquiring exchange above re-establishes
+      // ordering before any protected data is touched.
       while (latch_.load(std::memory_order_relaxed)) {
         CpuRelax();
       }

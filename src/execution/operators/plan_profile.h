@@ -66,6 +66,8 @@ class OperatorProfiler {
   void Prepare(size_t num_blocks) {
     rows_.assign(num_blocks, 0);
     pushes_.assign(num_blocks, 0);
+    // relaxed: reset runs before any worker is handed the profiler; the pool
+    // submit that starts them publishes these stores.
     for (Shard &shard : shards_) shard.ns.store(0, std::memory_order_relaxed);
   }
 
@@ -77,6 +79,8 @@ class OperatorProfiler {
 
   /// Worker thread, after Push returns: nanoseconds spent (inclusive).
   void RecordElapsed(uint64_t ns) {
+    // relaxed: per-shard tally; the pool quiesce (WaitUntilAllFinished)
+    // orders every increment before the driving thread aggregates.
     shards_[metrics::ThreadShardIndex()].ns.fetch_add(ns, std::memory_order_relaxed);
   }
 
@@ -96,6 +100,8 @@ class OperatorProfiler {
 
   uint64_t TotalElapsedNs() const {
     uint64_t total = 0;
+    // relaxed: read only after the pool has quiesced, which already
+    // happens-before this thread; no further ordering needed.
     for (const Shard &shard : shards_) total += shard.ns.load(std::memory_order_relaxed);
     return total;
   }

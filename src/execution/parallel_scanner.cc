@@ -23,6 +23,8 @@ ParallelTableScanner::ParallelTableScanner(catalog::SqlTable *table,
 }
 
 void ParallelTableScanner::Scan(common::WorkerPool *pool, const ConsumeFn &consume) {
+  // relaxed: reset before any worker task is submitted; the pool submit
+  // publishes it to the workers.
   cursor_.store(0, std::memory_order_relaxed);
   const uint32_t workers = pool == nullptr ? 0 : pool->NumWorkers();
   {
@@ -68,6 +70,8 @@ void ParallelTableScanner::WorkerLoop(size_t worker_index, const ConsumeFn &cons
   ScanStats stats;
   ColumnVectorBatch batch;
   while (true) {
+    // relaxed: morsel dispatch needs only a unique ordinal per worker; block
+    // contents are synchronized by the storage layer, not by this counter.
     const size_t ordinal = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (ordinal >= blocks_.size()) break;
     if (TableScanner::ScanBlock(table_, txn_, projection_, blocks_[ordinal], &batch, &stats)) {

@@ -74,6 +74,8 @@ class BPlusTree final : public Index {
     }
   }
 
+  // relaxed: a size snapshot racing concurrent inserts/deletes is stale the
+  // moment it is read; callers use it for diagnostics and sizing only.
   uint64_t Size() const override { return size_.load(std::memory_order_relaxed); }
 
   /// \return the height of the tree (diagnostics; not thread-safe, so the
@@ -127,6 +129,8 @@ class BPlusTree final : public Index {
       auto *leaf = static_cast<LeafNode *>(node);
       const bool inserted = LeafInsert(leaf, key, value);
       leaf->latch.UnlockExclusive();
+      // relaxed: the counter is a diagnostic tally, not a synchronization
+      // point — the leaf latch above ordered the structural change.
       if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
       return inserted;
     }
@@ -144,6 +148,8 @@ class BPlusTree final : public Index {
         leaf->values[i] = leaf->values[i + 1];
       }
       leaf->count--;
+      // relaxed: same as the insert-side tally — the leaf latch orders the
+      // structural change; the counter is diagnostics only.
       size_.fetch_sub(1, std::memory_order_relaxed);
     }
     leaf->latch.UnlockExclusive();

@@ -22,11 +22,16 @@ LogManager::~LogManager() {
 }
 
 void LogManager::Start() {
+  // ordering: seq_cst exchange on a once-per-process-lifetime control path;
+  // the full fence costs nothing here and makes Start/Shutdown races trivial
+  // to reason about (exactly one exchange observes the transition).
   if (run_flush_thread_.exchange(true)) return;
   flush_thread_ = std::thread([this] { FlushLoop(); });
 }
 
 void LogManager::Shutdown() {
+  // ordering: seq_cst exchange, mirror of Start — cold path, and exactly one
+  // caller wins the transition and joins the thread.
   if (run_flush_thread_.exchange(false)) {
     flush_cv_.NotifyAll();
     flush_thread_.join();
@@ -145,6 +150,8 @@ void LogManager::SerializeRecord(const LogRecord &record) {
     case LogRecordType::kAbort:
       break;
   }
+  // relaxed: monotonic statistic read by tests and monitors; readers need a
+  // current-ish value, not ordering against the serialized bytes.
   records_written_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -153,6 +160,7 @@ void LogManager::FlushAndSync() {
     ssize_t written = write(fd_, out_buffer_.data(), out_buffer_.size());
     MAINLINE_ASSERT(written == static_cast<ssize_t>(out_buffer_.size()), "short write to log");
     (void)written;
+    // relaxed: same as records_written_ — a monitoring tally, no ordering.
     bytes_written_.fetch_add(out_buffer_.size(), std::memory_order_relaxed);
     out_buffer_.clear();
   }

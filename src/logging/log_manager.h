@@ -86,8 +86,11 @@ class LogManager {
   }
 
   /// \return number of log records written to disk so far.
+  // relaxed: monitoring counters — a reader racing the flush thread gets a
+  // slightly stale tally, which is all these promise.
   uint64_t RecordsWritten() const { return records_written_.load(std::memory_order_relaxed); }
   /// \return number of bytes written to disk so far.
+  // relaxed: same contract as RecordsWritten.
   uint64_t BytesWritten() const { return bytes_written_.load(std::memory_order_relaxed); }
 
  private:

@@ -9,6 +9,8 @@ namespace mainline::metrics {
 
 uint32_t ThreadShardIndex() {
   static std::atomic<uint32_t> next_thread{0};
+  // relaxed: threads only need distinct draws from the sequence; no data is
+  // published through this counter.
   thread_local const uint32_t index =
       next_thread.fetch_add(1, std::memory_order_relaxed) & (kNumShards - 1);
   return index;

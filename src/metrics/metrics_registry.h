@@ -34,7 +34,11 @@ class Counter {
   DISALLOW_COPY_AND_MOVE(Counter)
 
   void Add(uint64_t delta) {
+    // relaxed: the enabled flag is an on/off hint — a toggle may be observed
+    // a few increments late, which the registry's contract allows.
     if (!enabled_->load(std::memory_order_relaxed)) return;
+    // relaxed: sharded monotonic tally; readers sum shards and accept a live
+    // lower bound (see Value), so no ordering is needed on the hot path.
     shards_[ThreadShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
   }
 
@@ -42,6 +46,8 @@ class Counter {
   /// the writers have quiesced, and a live lower bound while they run.
   uint64_t Value() const {
     uint64_t total = 0;
+    // relaxed: exact once writers quiesce, a live lower bound while they
+    // run — the doc comment above is the contract.
     for (const Shard &shard : shards_) total += shard.value.load(std::memory_order_relaxed);
     return total;
   }
@@ -67,15 +73,19 @@ class Gauge {
   DISALLOW_COPY_AND_MOVE(Gauge)
 
   void Set(int64_t value) {
+    // relaxed: enabled hint + point-in-time reading; a gauge carries no
+    // ordering obligation toward the state it describes.
     if (!enabled_->load(std::memory_order_relaxed)) return;
     value_.store(value, std::memory_order_relaxed);
   }
 
   void Add(int64_t delta) {
+    // relaxed: same contract as Set — atomicity for tear-freedom only.
     if (!enabled_->load(std::memory_order_relaxed)) return;
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
 
+  // relaxed: a point-in-time reading; stale by the time it is used.
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -106,6 +116,7 @@ class Histogram {
   DISALLOW_COPY_AND_MOVE(Histogram)
 
   void Observe(uint64_t value) {
+    // relaxed: enabled flag is an on/off hint, as in Counter::Add.
     if (!enabled_->load(std::memory_order_relaxed)) return;
     size_t bucket = bounds_.size();  // overflow unless a bound covers it
     for (size_t i = 0; i < bounds_.size(); i++) {
@@ -115,6 +126,8 @@ class Histogram {
       }
     }
     Shard &shard = shards_[ThreadShardIndex()];
+    // relaxed: sharded tallies, same discipline as Counter::Add — readers
+    // aggregate after quiescing or accept a live approximation.
     shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
     shard.sum.fetch_add(value, std::memory_order_relaxed);
   }
@@ -125,6 +138,8 @@ class Histogram {
     HistogramData data;
     data.bounds = bounds_;
     data.counts.assign(bounds_.size() + 1, 0);
+    // relaxed: aggregation accepts a live approximation; bucket counts and
+    // sum may be mid-update relative to each other, which snapshots allow.
     for (const Shard &shard : shards_) {
       for (size_t i = 0; i < data.counts.size(); i++) {
         data.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
@@ -194,7 +209,10 @@ class MetricsRegistry {
   Histogram *RegisterHistogram(std::string_view name, std::vector<uint64_t> bounds)
       EXCLUDES(mutex_);
 
+  // relaxed: the flag gates future updates only; in-flight updates on other
+  // threads may land after a disable, which the contract allows.
   void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  // relaxed: same hint semantics as SetEnabled.
   bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Aggregate every registered metric. Takes the registration mutex (to

@@ -6,6 +6,11 @@
 #include "storage/arrow_block_metadata.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
+// analyze-waive(layering): MVCC makes storage and transaction mutually
+// recursive (paper Section 3.1) — version chains live in table blocks but
+// are stamped and unlinked through TransactionContext. The cycle is broken
+// at header granularity (data_table.h forward-declares); this .cc include is
+// the one deliberate back-edge, documented in scripts/layering.toml.
 #include "transaction/transaction_context.h"
 
 namespace mainline::storage {
@@ -24,6 +29,8 @@ DataTable::~DataTable() {
     // Free owned out-of-line varlen values still referenced by block storage.
     for (const col_id_t col : layout.AllColumnIds()) {
       if (!layout.IsVarlen(col)) continue;
+      // relaxed: destructor runs after all writers have stopped; any racing
+      // access here is a bug no ordering could fix.
       const uint32_t limit = block->insert_head.load(std::memory_order_relaxed);
       for (uint32_t i = 0; i < limit; i++) {
         const TupleSlot slot(block, i);
@@ -142,6 +149,8 @@ bool DataTable::Update(transaction::TransactionContext *txn, TupleSlot slot,
     for (uint16_t i = 0; i < redo.NumColumns(); i++) {
       StorageUtil::CopyAttrIntoProjection(accessor_, slot, undo->Delta(), i);
     }
+    // relaxed: the record is still private to this thread; the successful
+    // CAS below publishes the whole record (Next included) to readers.
     undo->Next().store(head, std::memory_order_relaxed);
     if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
   }
@@ -218,6 +227,8 @@ bool DataTable::InsertInto(transaction::TransactionContext *txn, TupleSlot dest,
     if (undo == nullptr) undo = txn->UndoRecordForInsert(this, dest);
     // Chain on top of any residual (committed, older) records: old readers
     // reconstruct the previous occupant through the delete record below us.
+    // relaxed: the record is still private to this thread; the successful
+    // CAS below publishes the whole record (Next included) to readers.
     undo->Next().store(head, std::memory_order_relaxed);
     if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
   }
@@ -252,6 +263,8 @@ bool DataTable::Delete(transaction::TransactionContext *txn, TupleSlot slot) {
     for (uint16_t i = 0; i < undo->Delta()->NumColumns(); i++) {
       StorageUtil::CopyAttrIntoProjection(accessor_, slot, undo->Delta(), i);
     }
+    // relaxed: the record is still private to this thread; the successful
+    // CAS below publishes the whole record (Next included) to readers.
     undo->Next().store(head, std::memory_order_relaxed);
     if (version_ptr.compare_exchange_strong(head, undo, std::memory_order_seq_cst)) break;
   }

@@ -53,6 +53,9 @@ class BlockAllocator {
   }
 
   void Reuse(RawBlock *block) {
+    // relaxed: the block is not reachable by any other thread until the
+    // allocating caller publishes it (insert into the table's block list);
+    // that publication provides the ordering.
     block->insert_head.store(0, std::memory_order_relaxed);
     block->data_table = nullptr;
     block->arrow_metadata = nullptr;

@@ -33,6 +33,8 @@ class TupleAccessStrategy {
   /// the caller publishes the tuple by calling SetAllocated after writing the
   /// version pointer and contents.
   bool Allocate(RawBlock *block, TupleSlot *out) const {
+    // relaxed: seed for the CAS loop; the acq_rel compare_exchange below
+    // synchronizes (and reloads the head on failure).
     uint32_t head = block->insert_head.load(std::memory_order_relaxed);
     while (head < layout_.NumSlots()) {
       if (block->insert_head.compare_exchange_weak(head, head + 1,

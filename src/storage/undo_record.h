@@ -91,6 +91,8 @@ class UndoRecord {
                                       TupleSlot slot, DataTable *table, uint32_t size) {
     auto *result = reinterpret_cast<UndoRecord *>(head);
     result->type_ = type;
+    // relaxed: both stores below — the record is private to the creating
+    // transaction until the version-pointer CAS in DataTable publishes it.
     result->timestamp_.store(ts, std::memory_order_relaxed);
     result->table_ = table;
     result->slot_ = slot;

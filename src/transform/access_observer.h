@@ -29,15 +29,17 @@ class AccessObserver final : public gc::WriteObserver {
 
   DISALLOW_COPY_AND_MOVE(AccessObserver)
 
-  /// Called by the GC at the start of each run. Relaxed atomic increment:
-  /// the GC thread is the only writer, but the transformation thread reads
-  /// the epoch concurrently (CollectColdBlocks), so a plain uint64_t here
-  /// was a data race — coldness is a heuristic, so no ordering is needed
-  /// beyond tear-free reads.
+  /// Called by the GC at the start of each run.
+  // relaxed: the GC thread is the only writer, but the transformation thread
+  // reads the epoch concurrently (CollectColdBlocks), so a plain uint64_t
+  // here was a data race — coldness is a heuristic, so no ordering is needed
+  // beyond tear-free reads.
   void NewEpoch() override { epoch_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Called by the GC for every block touched by a transaction it processed.
   void ObserveWrite(storage::RawBlock *block) override EXCLUDES(latch_) {
+    // relaxed: load and store — the touch stamp is a coldness heuristic;
+    // an off-by-one epoch merely delays or hastens a freeze candidate.
     block->last_touched_epoch.store(epoch_.load(std::memory_order_relaxed),
                                     std::memory_order_relaxed);
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
@@ -58,10 +60,13 @@ class AccessObserver final : public gc::WriteObserver {
   std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> CollectColdBlocks()
       EXCLUDES(latch_) {
     std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> result;
+    // relaxed: reading the heuristic epoch; see NewEpoch.
     const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     common::SpinLatch::ScopedSpinLatch guard(&latch_);
     for (auto it = watched_.begin(); it != watched_.end();) {
       storage::RawBlock *block = it->first;
+      // relaxed: stale touch stamps only shift when a block is deemed cold;
+      // the compactor re-validates ownership before acting on it.
       const uint64_t last = block->last_touched_epoch.load(std::memory_order_relaxed);
       if (epoch >= last + cold_threshold_) {
         result.emplace_back(block, it->second);
@@ -74,6 +79,7 @@ class AccessObserver final : public gc::WriteObserver {
   }
 
   /// \return the current GC epoch.
+  // relaxed: diagnostic read of the heuristic counter.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   /// \return number of blocks currently watched.

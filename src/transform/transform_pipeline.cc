@@ -73,6 +73,8 @@ uint32_t TransformPipeline::RunOnce(TransformStats *pass_stats) {
 }
 
 void TransformPipeline::Start(std::chrono::milliseconds period) {
+  // ordering: seq_cst exchange on the once-per-lifetime start path — the
+  // full fence is free here and exactly one caller observes the transition.
   if (run_.exchange(true)) return;
   worker_ = std::thread([this, period] {
     while (run_.load(std::memory_order_acquire)) {
@@ -83,6 +85,8 @@ void TransformPipeline::Start(std::chrono::milliseconds period) {
 }
 
 void TransformPipeline::Stop() {
+  // ordering: seq_cst exchange, mirror of Start — cold path; the winner of
+  // the transition is the one caller that joins the worker.
   if (run_.exchange(false) && worker_.joinable()) worker_.join();
 }
 

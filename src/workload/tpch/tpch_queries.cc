@@ -555,6 +555,9 @@ std::vector<Q12Row> RunQ12Scalar(catalog::SqlTable *orders, catalog::SqlTable *l
         if (workload::Get<uint32_t>(row, p_ship) >= commit) return;
         const std::string_view mode = workload::GetVarchar(row, p_mode);
         if (mode != params.shipmode_a && mode != params.shipmode_b) return;
+        // analyze-waive(determinism): equal_range walk over the build-side
+        // multimap folds into commutative integer counts (high/low line
+        // tallies), so bucket iteration order cannot reach the result.
         const auto [begin, end] = ht.equal_range(workload::Get<int64_t>(row, p_lkey));
         if (begin == end) return;
         Q12Acc *acc = &partial[FindOrAddQ12Group(&partial, mode)];
@@ -612,6 +615,9 @@ double RunQ14Scalar(catalog::SqlTable *lineitem, catalog::SqlTable *part,
         if (ship < params.shipdate_min || ship >= params.shipdate_max) return;
         const double disc_price = workload::Get<double>(row, p_price) *
                                   (1.0 - workload::Get<double>(row, p_disc));
+        // analyze-waive(determinism): the equal_range walk accumulates
+        // commutative sums (block totals and a match count); iteration order
+        // over the bucket cannot change the folded result.
         const auto [begin, end] = ht.equal_range(workload::Get<int64_t>(row, p_lkey));
         for (auto it = begin; it != end; ++it) {
           block_matched++;
