@@ -8,6 +8,7 @@
 // few attributes are touched (smaller footprint); the gap never exceeds ~40%.
 
 #include "bench_util.h"
+#include "common/rand_util.h"
 #include "storage/data_table.h"
 
 namespace mainline::bench {

@@ -9,6 +9,7 @@
 // serialization step dominates either way).
 
 #include "bench_util.h"
+#include "common/rand_util.h"
 #include "export/protocols.h"
 #include "transform/block_transformer.h"
 #include "workload/tpcc/tpcc_schemas.h"

@@ -5,7 +5,6 @@
 #include <string>
 
 #include "arrowlite/array.h"
-#include "common/macros.h"
 
 namespace mainline::arrowlite {
 

@@ -4,7 +4,6 @@
 #include <cstring>
 #include <vector>
 
-#include "common/macros.h"
 #include "common/typedefs.h"
 
 namespace mainline::arrowlite {

@@ -4,7 +4,6 @@
 
 #include "arrowlite/array.h"
 #include "arrowlite/io.h"
-#include "common/macros.h"
 
 namespace mainline::arrowlite {
 

@@ -6,7 +6,6 @@
 #include <utility>
 #include <vector>
 
-#include "common/macros.h"
 
 namespace mainline::arrowlite {
 

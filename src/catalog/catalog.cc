@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include "index/index.h"
+#include "storage/data_table.h"
 
 namespace mainline::catalog {
 

@@ -12,6 +12,8 @@
 #include "common/typedefs.h"
 #include "index/index.h"
 #include "catalog/sql_table.h"
+#include "storage/data_table.h"
+#include "storage/raw_block.h"
 
 namespace mainline::catalog {
 

@@ -8,8 +8,6 @@
 #include <utility>
 #include <vector>
 
-#include "common/macros.h"
-#include "common/typedefs.h"
 #include "storage/block_layout.h"
 
 namespace mainline::catalog {

@@ -8,6 +8,9 @@
 #include "common/typedefs.h"
 #include "logging/log_record.h"
 #include "storage/data_table.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::catalog {

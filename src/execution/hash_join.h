@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "arrowlite/array.h"
 #include "common/macros.h"
 #include "common/selection_vector.h"
 #include "common/worker_pool.h"

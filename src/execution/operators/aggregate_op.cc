@@ -1,3 +1,7 @@
+#include "common/worker_pool.h"
+#include "arrowlite/array.h"
+#include "arrowlite/type.h"
+#include "common/selection_vector.h"
 #include "execution/operators/aggregate_op.h"
 
 #include <algorithm>

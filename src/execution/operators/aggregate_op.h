@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "execution/operators/operator.h"
 
 namespace mainline::execution::op {

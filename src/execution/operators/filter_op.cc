@@ -1,5 +1,6 @@
 #include "execution/operators/filter_op.h"
 
+#include "common/selection_vector.h"
 #include "execution/vector_ops.h"
 
 namespace mainline::execution::op {

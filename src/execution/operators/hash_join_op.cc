@@ -1,3 +1,5 @@
+#include "arrowlite/type.h"
+#include "arrowlite/array.h"
 #include "execution/operators/hash_join_op.h"
 
 #include <bit>

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "execution/hash_join.h"
 #include "execution/operators/operator.h"
 

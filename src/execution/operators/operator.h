@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "arrowlite/array.h"
 #include "common/macros.h"
 #include "common/selection_vector.h"
 #include "common/timer.h"

@@ -4,12 +4,16 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/sql_table.h"
+#include "common/timer.h"
+#include "common/worker_pool.h"
 #include "execution/operators/aggregate_op.h"
 #include "execution/operators/filter_op.h"
 #include "execution/operators/hash_join_op.h"
 #include "execution/operators/project_op.h"
 #include "execution/operators/scan_source.h"
 #include "execution/operators/topk_op.h"
+#include "transaction/transaction_context.h"
 
 namespace mainline::execution::op {
 

@@ -5,7 +5,6 @@
 #include <string>
 #include <vector>
 
-#include "common/macros.h"
 #include "execution/table_scanner.h"
 #include "metrics/metrics_registry.h"
 

@@ -1,3 +1,5 @@
+#include "common/worker_pool.h"
+#include "arrowlite/array.h"
 #include "execution/operators/topk_op.h"
 
 #include <algorithm>

@@ -12,6 +12,7 @@
 #include "execution/column_vector_batch.h"
 #include "execution/table_scanner.h"
 #include "catalog/sql_table.h"
+#include "storage/raw_block.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution {

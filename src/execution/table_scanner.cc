@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "catalog/schema.h"
+#include "storage/data_table.h"
+#include "storage/raw_block.h"
 #include "transform/arrow_reader.h"
 
 namespace mainline::execution {

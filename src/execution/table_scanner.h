@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "execution/column_vector_batch.h"
 #include "catalog/sql_table.h"
+#include "storage/raw_block.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::execution {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "arrowlite/array.h"
+#include "arrowlite/type.h"
 #include "common/selection_vector.h"
 
 namespace mainline::execution {

@@ -6,11 +6,22 @@
 #include <cstring>
 
 #include "arrowlite/builder.h"
+#include "arrowlite/io.h"
 #include "arrowlite/ipc.h"
+#include "arrowlite/type.h"
+#include "catalog/schema.h"
+#include "catalog/sql_table.h"
 #include "common/timer.h"
 #include "storage/arrow_block_metadata.h"
+#include "storage/block_access_controller.h"
+#include "storage/data_table.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
+#include "transaction/transaction_context.h"
+#include "transaction/transaction_manager.h"
 #include "transform/arrow_reader.h"
 
 namespace mainline::exporter {

@@ -3,7 +3,9 @@
 #include <memory>
 
 #include "arrowlite/array.h"
+#include "catalog/sql_table.h"
 #include "export/exporter.h"
+#include "transaction/transaction_manager.h"
 
 namespace mainline::exporter {
 

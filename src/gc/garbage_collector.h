@@ -11,6 +11,7 @@
 #include "common/thread_annotations.h"
 #include "common/typedefs.h"
 #include "gc/write_observer.h"
+#include "storage/data_table.h"
 #include "storage/storage_defs.h"
 
 namespace mainline::transaction {

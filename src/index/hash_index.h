@@ -6,6 +6,7 @@
 #include "common/shared_latch.h"
 #include "common/thread_annotations.h"
 #include "index/index.h"
+#include "storage/storage_defs.h"
 
 namespace mainline::index {
 

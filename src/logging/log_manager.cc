@@ -5,7 +5,10 @@
 
 #include <chrono>
 
+#include "common/typedefs.h"
+#include "storage/block_layout.h"
 #include "storage/data_table.h"
+#include "storage/projected_row.h"
 #include "storage/varlen_entry.h"
 
 namespace mainline::logging {

@@ -10,7 +10,9 @@
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/typedefs.h"
 #include "logging/log_record.h"
+#include "storage/data_table.h"
 #include "storage/record_buffer.h"
 
 namespace mainline::logging {

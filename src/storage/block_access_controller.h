@@ -4,7 +4,6 @@
 #include <cstdint>
 
 #include "common/cpu_relax.h"
-#include "common/macros.h"
 
 namespace mainline::storage {
 

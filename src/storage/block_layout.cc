@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "storage/storage_defs.h"
+
 namespace mainline::storage {
 
 namespace {

@@ -3,10 +3,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/macros.h"
 #include "common/raw_bitmap.h"
 #include "common/typedefs.h"
-#include "storage/storage_defs.h"
 
 namespace mainline::storage {
 

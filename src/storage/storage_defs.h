@@ -4,7 +4,6 @@
 #include <functional>
 
 #include "common/macros.h"
-#include "common/typedefs.h"
 
 namespace mainline::storage {
 

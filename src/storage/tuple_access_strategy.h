@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 
-#include "common/macros.h"
 #include "common/raw_bitmap.h"
 #include "common/typedefs.h"
 #include "storage/block_layout.h"

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "logging/log_record.h"
+#include "storage/block_layout.h"
 #include "storage/data_table.h"
+#include "storage/projected_row.h"
 #include "storage/varlen_entry.h"
+#include "transaction/transaction_context.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::transaction {

@@ -6,7 +6,9 @@
 #include "common/macros.h"
 #include "common/typedefs.h"
 #include "logging/log_record.h"
+#include "storage/projected_row.h"
 #include "storage/record_buffer.h"
+#include "storage/storage_defs.h"
 #include "storage/undo_record.h"
 #include "storage/varlen_entry.h"
 

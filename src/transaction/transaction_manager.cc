@@ -3,9 +3,13 @@
 #include <algorithm>
 
 #include "logging/log_manager.h"
+#include "logging/log_record.h"
 #include "metrics/engine_metrics.h"
 #include "storage/data_table.h"
+#include "storage/storage_defs.h"
 #include "storage/storage_util.h"
+#include "storage/tuple_access_strategy.h"
+#include "storage/undo_record.h"
 
 namespace mainline::transaction {
 

@@ -8,6 +8,7 @@
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
 #include "common/typedefs.h"
+#include "logging/log_record.h"
 #include "storage/record_buffer.h"
 #include "transaction/transaction_context.h"
 

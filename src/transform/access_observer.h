@@ -9,6 +9,7 @@
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
 #include "gc/write_observer.h"
+#include "storage/data_table.h"
 #include "storage/raw_block.h"
 
 namespace mainline::transform {

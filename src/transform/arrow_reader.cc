@@ -2,10 +2,18 @@
 
 #include <cstring>
 
+#include "arrowlite/buffer.h"
 #include "arrowlite/builder.h"
+#include "arrowlite/type.h"
 #include "common/raw_bitmap.h"
 #include "common/tsan_annotations.h"
+#include "common/typedefs.h"
 #include "storage/arrow_block_metadata.h"
+#include "storage/block_layout.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
+#include "storage/tuple_access_strategy.h"
 #include "storage/varlen_entry.h"
 
 namespace mainline::transform {

@@ -4,9 +4,10 @@
 #include <vector>
 
 #include "arrowlite/array.h"
+#include "arrowlite/type.h"
 #include "catalog/schema.h"
-#include "common/macros.h"
 #include "storage/data_table.h"
+#include "storage/raw_block.h"
 #include "transaction/transaction_context.h"
 
 namespace mainline::transform {

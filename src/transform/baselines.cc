@@ -2,9 +2,13 @@
 
 #include <vector>
 
+#include "storage/block_layout.h"
 #include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
 #include "storage/storage_util.h"
 #include "storage/varlen_entry.h"
+#include "transaction/transaction_context.h"
 
 namespace mainline::transform {
 

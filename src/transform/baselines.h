@@ -2,8 +2,8 @@
 
 #include <cstdint>
 
-#include "common/macros.h"
 #include "storage/data_table.h"
+#include "storage/raw_block.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::transform {

@@ -7,9 +7,18 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "common/typedefs.h"
 #include "storage/arrow_block_metadata.h"
+#include "storage/block_access_controller.h"
+#include "storage/block_layout.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
 #include "storage/storage_util.h"
+#include "storage/tuple_access_strategy.h"
 #include "storage/varlen_entry.h"
+#include "transaction/transaction_context.h"
+#include "transform/compaction_planner.h"
 
 namespace mainline::transform {
 

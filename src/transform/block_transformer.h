@@ -5,10 +5,14 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/typedefs.h"
 #include "gc/garbage_collector.h"
+#include "storage/arrow_block_metadata.h"
 #include "storage/data_table.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
+#include "transaction/transaction_context.h"
 #include "transaction/transaction_manager.h"
-#include "transform/compaction_planner.h"
 
 namespace mainline::transform {
 

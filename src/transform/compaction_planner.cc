@@ -1,3 +1,5 @@
+#include "storage/storage_defs.h"
+#include "storage/raw_block.h"
 #include "transform/compaction_planner.h"
 
 #include <algorithm>

@@ -4,8 +4,9 @@
 #include <utility>
 #include <vector>
 
-#include "common/macros.h"
 #include "storage/data_table.h"
+#include "storage/raw_block.h"
+#include "storage/storage_defs.h"
 
 namespace mainline::transform {
 

@@ -4,6 +4,9 @@
 
 #include "common/timer.h"
 #include "metrics/engine_metrics.h"
+#include "storage/block_access_controller.h"
+#include "storage/data_table.h"
+#include "storage/raw_block.h"
 
 namespace mainline::transform {
 

@@ -10,6 +10,8 @@
 #include "common/macros.h"
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
+#include "storage/data_table.h"
+#include "storage/raw_block.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
 

@@ -3,10 +3,15 @@
 #include <memory>
 #include <vector>
 
+#include "catalog/sql_table.h"
+#include "common/rand_util.h"
 #include "common/worker_pool.h"
 #include "index/bplus_tree.h"
 #include "index/hash_index.h"
+#include "storage/projected_row.h"
+#include "storage/storage_defs.h"
 #include "workload/row_util.h"
+#include "workload/tpcc/tpcc_schemas.h"
 
 namespace mainline::workload::tpcc {
 

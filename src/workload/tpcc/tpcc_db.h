@@ -3,10 +3,9 @@
 #include <memory>
 
 #include "catalog/catalog.h"
-#include "common/rand_util.h"
+#include "catalog/sql_table.h"
 #include "index/index.h"
 #include "transaction/transaction_manager.h"
-#include "workload/tpcc/tpcc_schemas.h"
 
 namespace mainline::workload::tpcc {
 

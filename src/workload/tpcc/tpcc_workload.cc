@@ -4,8 +4,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "catalog/sql_table.h"
+#include "common/typedefs.h"
 #include "index/index.h"
+#include "storage/projected_row.h"
+#include "storage/storage_defs.h"
 #include "workload/row_util.h"
+#include "workload/tpcc/tpcc_schemas.h"
 
 namespace mainline::workload::tpcc {
 

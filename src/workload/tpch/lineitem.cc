@@ -2,6 +2,11 @@
 
 #include <vector>
 
+#include "catalog/schema.h"
+#include "catalog/sql_table.h"
+#include "common/rand_util.h"
+#include "storage/projected_row.h"
+#include "transaction/transaction_context.h"
 #include "workload/row_util.h"
 
 namespace mainline::workload::tpch {

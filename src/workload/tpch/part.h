@@ -3,7 +3,8 @@
 #include <cstdint>
 
 #include "catalog/catalog.h"
-#include "common/rand_util.h"
+#include "catalog/schema.h"
+#include "catalog/sql_table.h"
 #include "transaction/transaction_manager.h"
 
 namespace mainline::workload::tpch {

@@ -7,6 +7,9 @@
 
 #include "common/macros.h"
 #include "common/worker_pool.h"
+#include "execution/operators/plan_profile.h"
+#include "execution/table_scanner.h"
+#include "transaction/transaction_context.h"
 #include "workload/tpch/tpch_queries.h"
 #include "catalog/sql_table.h"
 #include "transaction/transaction_manager.h"

@@ -5,7 +5,15 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "execution/operators/aggregate_op.h"
+#include "execution/operators/expr.h"
+#include "execution/operators/filter_op.h"
+#include "execution/operators/hash_join_op.h"
 #include "execution/operators/pipeline.h"
+#include "execution/operators/topk_op.h"
+#include "storage/data_table.h"
+#include "storage/projected_row.h"
+#include "storage/raw_block.h"
 #include "workload/row_util.h"
 #include "workload/tpch/customer.h"
 #include "workload/tpch/lineitem.h"

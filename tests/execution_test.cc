@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/rand_util.h"
 #include "common/selection_vector.h"
 #include "workload/tpch/query_runner.h"
 #include "execution/table_scanner.h"

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/rand_util.h"
 #include "common/worker_pool.h"
 #include "execution/hash_join.h"
 #include "workload/tpch/query_runner.h"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/rand_util.h"
 #include "common/worker_pool.h"
 #include "execution/operators/pipeline.h"
 #include "workload/tpch/query_runner.h"

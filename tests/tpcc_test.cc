@@ -7,6 +7,7 @@
 #include "gc/gc_thread.h"
 #include "transform/transform_pipeline.h"
 #include "workload/row_util.h"
+#include "workload/tpcc/tpcc_schemas.h"
 #include "workload/tpcc/tpcc_workload.h"
 
 namespace mainline {
