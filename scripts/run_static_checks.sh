@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# All source-level gates in one command: the project lint, the architecture
+# analyzer (layering DAG, determinism, atomics audit, include hygiene), and
+# clang-tidy when a binary is on PATH. Each tool's self-test runs first so a
+# silently-broken rule can never wave a dirty tree through.
+#
+# Usage: scripts/run_static_checks.sh [build-dir]
+#   build-dir (default: build) is only consulted for clang-tidy's
+#   compile_commands.json; lint and analyze need no configuration.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+echo "== lint.py --self-test =="
+python3 "${REPO_ROOT}/scripts/lint.py" --self-test
+
+echo "== lint.py =="
+python3 "${REPO_ROOT}/scripts/lint.py"
+
+echo "== analyze.py --self-test =="
+python3 "${REPO_ROOT}/scripts/analyze.py" --self-test
+
+echo "== analyze.py =="
+python3 "${REPO_ROOT}/scripts/analyze.py"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "== cmake configure (compile_commands.json for clang-tidy) =="
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+  fi
+  echo "== clang-tidy =="
+  find "${REPO_ROOT}/src" -name '*.cc' -print0 |
+    xargs -0 -n 8 -P "$(nproc)" clang-tidy -p "${BUILD_DIR}" --quiet
+else
+  echo "== clang-tidy: not installed, skipped =="
+fi
+
+echo "static checks: all green"
