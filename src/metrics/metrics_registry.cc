@@ -1,5 +1,6 @@
 #include "metrics/metrics_registry.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -71,6 +72,32 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto &[name, gauge] : gauges_) snapshot.gauges[name] = gauge->Value();
   for (const auto &[name, histogram] : histograms_) snapshot.histograms[name] = histogram->Value();
   return snapshot;
+}
+
+double HistogramData::ValueAtQuantile(double q) const {
+  if (total == 0) return 0.0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  auto rank = static_cast<uint64_t>(std::ceil(clamped * static_cast<double>(total)));
+  rank = rank < 1 ? 1 : (rank > total ? total : rank);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); i++) {
+    if (cumulative + counts[i] < rank) {
+      cumulative += counts[i];
+      continue;
+    }
+    if (i >= bounds.size()) break;  // overflow bucket: no finite upper bound
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = static_cast<double>(bounds[i]);
+    const double fraction =
+        static_cast<double>(rank - cumulative) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+double MetricsSnapshot::ValueAtQuantile(const std::string &name, double q) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? 0.0 : it->second.ValueAtQuantile(q);
 }
 
 MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot &earlier) const {

@@ -104,6 +104,18 @@ struct HistogramData {
   std::vector<uint64_t> counts;
   uint64_t total = 0;
   uint64_t sum = 0;
+
+  /// The value at quantile `q` (clamped into [0, 1]), estimated from the
+  /// buckets. Interpolation rule: the target rank is ceil(q * total),
+  /// clamped into [1, total]; buckets are walked in order until the
+  /// cumulative count reaches the rank, and the result interpolates
+  /// linearly inside the winning bucket between its exclusive lower bound
+  /// (the previous bound, or 0 for the first bucket) and its inclusive
+  /// upper bound, proportional to the fraction of the bucket's count the
+  /// rank consumes. A rank landing in the overflow bucket returns the last
+  /// finite bound — a lower bound on the true value, since the bucket is
+  /// unbounded above. An empty histogram returns 0.
+  double ValueAtQuantile(double q) const;
 };
 
 /// A fixed-bucket histogram of unsigned values (typically microseconds).
@@ -181,6 +193,12 @@ struct MetricsSnapshot {
   /// {"counters":{...},"gauges":{...},"histograms":{"name":{"bounds":[...],
   /// "counts":[...],"total":N,"sum":S}}}
   std::string ToJson() const;
+
+  /// HistogramData::ValueAtQuantile over histogram `name` — the one
+  /// percentile rule every bench and harness reports with (p50/p95/p99
+  /// instead of hand-rolled bucket math). Returns 0 when no histogram of
+  /// that name is in the snapshot.
+  double ValueAtQuantile(const std::string &name, double q) const;
 };
 
 /// The engine-wide metric namespace. Metrics are registered once (by name —

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mainline::transform {
+
+/// Feedback controller for the background TransformPipeline's pass cadence.
+///
+/// A fixed `Start(period)` cadence has to be hand-tuned per workload: too
+/// slow and the observer's cold-block backlog (and with it the insert→frozen
+/// freshness lag) grows without bound under write bursts; too fast and the
+/// pipeline's compaction transactions contend with the writers it is
+/// supposed to stay out of the way of. This controller picks the delay
+/// before the next pass from what the previous pass saw:
+///
+///   * backlog (queue depth above `target_queue_depth`): shrink the period
+///     proportionally to the overshoot — the deeper the backlog, the harder
+///     the cut — so freshness lag recovers within a few passes;
+///   * idle (empty watch set, nothing frozen): grow the period by `backoff`,
+///     so a quiescent table costs almost no background wakeups;
+///   * in between: hold, to avoid oscillating around the target.
+///
+/// Two guards bound the result: the period is clamped into
+/// [`min_period`, `max_period`], and it never drops below the duty-cycle
+/// floor `pass_duration * (1 - max_duty_cycle) / max_duty_cycle`, which caps
+/// the fraction of wall time the pipeline thread spends transforming — the
+/// "don't starve writers" bound, binding exactly when passes are expensive.
+///
+/// The controller is pure state-in/state-out: the same feedback sequence
+/// always produces the same period sequence (no clock reads, no randomness),
+/// which is what makes it unit-testable with synthetic sequences. It is not
+/// thread-safe; the pipeline's background loop is its only caller.
+class FreezePolicy {
+ public:
+  struct Config {
+    std::chrono::milliseconds min_period{1};
+    std::chrono::milliseconds max_period{200};
+    std::chrono::milliseconds initial_period{10};
+    /// Watch-set size the controller tolerates before speeding up.
+    uint64_t target_queue_depth = 16;
+    /// Multiplicative period growth per idle pass (> 1).
+    double backoff = 1.25;
+    /// Largest fraction of wall time the pipeline may spend in passes,
+    /// in (0, 1]. 1 disables the floor.
+    double max_duty_cycle = 0.5;
+    /// Hardest single-pass period cut under backlog, in (0, 1).
+    double max_shrink = 0.25;
+  };
+
+  /// What one pipeline pass observed, in the order the loop learns it.
+  struct PassFeedback {
+    uint64_t queue_depth = 0;    ///< observer watch-set size after the pass
+    uint64_t pass_us = 0;        ///< wall time the pass took
+    uint32_t blocks_frozen = 0;  ///< work the pass completed
+  };
+
+  /// Out-of-range config values are repaired to their defaults (a zero or
+  /// negative duty cycle would otherwise divide by zero below). The
+  /// default-constructed policy uses the default Config; both bodies live in
+  /// the .cc because a `Config()` default argument here would need the
+  /// nested class's member initializers before the enclosing class is
+  /// complete, which GCC rejects.
+  FreezePolicy();
+  explicit FreezePolicy(const Config &config);
+
+  /// Fold one pass's outcome into the controller state.
+  /// \return the delay to sleep before the next pass.
+  std::chrono::milliseconds OnPassComplete(const PassFeedback &feedback);
+
+  /// The delay the controller last decided (or `initial_period` before the
+  /// first pass), clamped into [min_period, max_period].
+  std::chrono::milliseconds CurrentPeriod() const;
+
+  const Config &GetConfig() const { return config_; }
+
+ private:
+  Config config_;
+  /// Continuous-valued period so repeated small adjustments are not lost to
+  /// millisecond truncation; rounded on the way out.
+  double period_ms_;
+};
+
+}  // namespace mainline::transform

@@ -3,17 +3,20 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/spin_latch.h"
 #include "common/thread_annotations.h"
 #include "storage/data_table.h"
 #include "storage/raw_block.h"
 #include "transform/access_observer.h"
 #include "transform/block_transformer.h"
+#include "transform/freeze_policy.h"
 
 namespace mainline::transform {
 
@@ -56,11 +59,30 @@ class TransformPipeline {
   /// \return number of blocks frozen in this pass.
   uint32_t RunOnce(TransformStats *pass_stats = nullptr) EXCLUDES(manual_latch_, stats_latch_);
 
-  /// Spawn the background transformation thread.
-  void Start(std::chrono::milliseconds period = std::chrono::milliseconds(10));
+  /// Spawn the background transformation thread at a fixed cadence.
+  void Start(std::chrono::milliseconds period = std::chrono::milliseconds(10))
+      EXCLUDES(sleep_mutex_);
 
-  /// Join the background thread.
-  void Stop();
+  /// Spawn the background thread under feedback control: after every pass a
+  /// FreezePolicy built from `policy` picks the delay before the next one
+  /// from the observer's queue depth and the pass duration, so freshness lag
+  /// stays bounded under write bursts without hand-tuning a period (see
+  /// transform/freeze_policy.h for the control law).
+  void Start(const FreezePolicy::Config &policy) EXCLUDES(sleep_mutex_);
+
+  /// Join the background thread. Returns promptly even mid-sleep: the loop
+  /// waits on a condition variable this notifies, so shutdown latency does
+  /// not scale with the (possibly controller-lengthened) period.
+  void Stop() EXCLUDES(sleep_mutex_);
+
+  /// The loop's current inter-pass delay: the fixed period, or the
+  /// controller's latest decision when started adaptively. Exposed for
+  /// monitoring and tests.
+  std::chrono::milliseconds CurrentPeriod() const {
+    // relaxed: a point-in-time reading for reporting, like a metrics gauge;
+    // it orders nothing.
+    return std::chrono::milliseconds(period_ms_.load(std::memory_order_relaxed));
+  }
 
   /// Lifetime accumulation over every pass this pipeline has run. Returns a
   /// snapshot by value: when the pipeline runs on its background thread
@@ -82,8 +104,23 @@ class TransformPipeline {
   std::vector<std::pair<storage::RawBlock *, storage::DataTable *>> manual_queue_
       GUARDED_BY(manual_latch_);
 
+  /// The background loop body shared by both Start overloads.
+  void Run() EXCLUDES(manual_latch_, stats_latch_, sleep_mutex_);
+
   std::thread worker_;
   std::atomic<bool> run_{false};
+  /// Set by the controller when adaptive, by Start(period) when fixed.
+  std::atomic<int64_t> period_ms_{10};
+  /// Present only between Start(FreezePolicy::Config) and the next Start;
+  /// touched exclusively by Start (before the worker spawns) and the worker.
+  std::optional<FreezePolicy> policy_;
+  /// The inter-pass sleep. Stop() cannot signal through `run_` alone: the
+  /// loop's "still running?" check and its wait must be one atomic step
+  /// under a mutex, or a notify landing between them is lost and Stop blocks
+  /// a full period — exactly the latency this cv exists to remove.
+  common::Mutex sleep_mutex_;
+  common::ConditionVariable sleep_cv_;
+  bool wake_ GUARDED_BY(sleep_mutex_) = false;
 };
 
 }  // namespace mainline::transform

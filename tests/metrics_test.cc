@@ -123,6 +123,69 @@ TEST(MetricsRegistryTest, HistogramBucketBoundariesAreInclusive) {
   EXPECT_EQ(data.sum, 0u + 10 + 11 + 100 + 101 + 1000 + 1001 + 50000);
 }
 
+/// ValueAtQuantile against hand-computed oracles. The documented rule: rank
+/// = ceil(q * total) clamped to [1, total]; the answer interpolates linearly
+/// inside the winning bucket between its exclusive lower bound (previous
+/// bound, or 0) and its inclusive upper bound by the fraction of the
+/// bucket's count the rank consumes.
+TEST(MetricsRegistryTest, ValueAtQuantileSingleBucketInterpolates) {
+  MetricsRegistry registry(true);
+  Histogram *hist = registry.RegisterHistogram("test.q_single", {100});
+  for (int i = 0; i < 4; i++) hist->Observe(50);
+
+  const HistogramData data = hist->Value();
+  // rank = ceil(q*4): 1, 2, 3, 4 -> fractions 1/4 .. 4/4 of the [0, 100] bucket.
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.75), 75.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(1.0), 100.0);
+  // Out-of-range q clamps: below 0 behaves like the minimum rank, above 1
+  // like the maximum.
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(-3.0), 25.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(7.0), 100.0);
+}
+
+TEST(MetricsRegistryTest, ValueAtQuantileWalksBuckets) {
+  MetricsRegistry registry(true);
+  // Uniform 1..100 against quartile bounds: every in-range quantile answer
+  // must land exactly on the true percentile of the underlying stream.
+  Histogram *hist = registry.RegisterHistogram("test.q_uniform", {25, 50, 75, 100});
+  for (uint64_t v = 1; v <= 100; v++) hist->Observe(v);
+
+  const HistogramData data = hist->Value();
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.62), 62.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(data.ValueAtQuantile(0.99), 99.0);
+}
+
+TEST(MetricsRegistryTest, ValueAtQuantileEdgeCases) {
+  MetricsRegistry registry(true);
+  // Empty histogram: no rank to find, answer is 0.
+  Histogram *empty = registry.RegisterHistogram("test.q_empty", {10, 20});
+  EXPECT_DOUBLE_EQ(empty->Value().ValueAtQuantile(0.5), 0.0);
+
+  // Observations past the last bound land in the unbounded overflow bucket;
+  // the reported quantile saturates at the last finite bound rather than
+  // inventing an upper edge.
+  Histogram *overflow = registry.RegisterHistogram("test.q_overflow", {10});
+  overflow->Observe(50);
+  overflow->Observe(60);
+  EXPECT_DOUBLE_EQ(overflow->Value().ValueAtQuantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(overflow->Value().ValueAtQuantile(1.0), 10.0);
+
+  // Snapshot-level lookup: present name resolves through the same rule,
+  // absent name answers 0.
+  Histogram *named = registry.RegisterHistogram("test.q_named", {100});
+  named->Observe(1);
+  named->Observe(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.ValueAtQuantile("test.q_named", 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(snapshot.ValueAtQuantile("test.q_missing", 0.5), 0.0);
+}
+
 TEST(MetricsRegistryTest, ConcurrentHistogramMatchesSerialTotals) {
   MetricsRegistry registry(true);
   Histogram *hist = registry.RegisterHistogram("test.conc_hist", {4, 16});

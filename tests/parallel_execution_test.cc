@@ -50,6 +50,11 @@ class ParallelExecutionTest : public ::testing::TestWithParam<GatherMode> {
     gc_.SetAccessObserver(&observer_);
   }
 
+  // Detach the observer before members destruct (in reverse order, the
+  // observer dies before the GC — whose own destructor still runs a final
+  // collection pass that would feed it).
+  ~ParallelExecutionTest() { gc_.SetAccessObserver(nullptr); }
+
   /// Rows spanning a little over `blocks` lineitem blocks.
   static uint64_t RowsForBlocks(uint64_t blocks) {
     const uint32_t slots = workload::tpch::LineItemSchema().ToBlockLayout().NumSlots();

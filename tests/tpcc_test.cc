@@ -174,6 +174,10 @@ TEST_F(TPCCTest, ConcurrentWorkloadWithTransformation) {
   }
   EXPECT_EQ(item_frozen, item_total);
   EXPECT_GT(pipeline.Stats().blocks_frozen, 0u);
+
+  // The observer is a local: detach it before it goes out of scope, or the
+  // fixture's GC destructor would feed its dangling pointer a final pass.
+  gc_.SetAccessObserver(nullptr);
 }
 
 }  // namespace mainline
